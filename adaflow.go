@@ -1,0 +1,196 @@
+// Package adaflow is a Go reproduction of "AdaFlow: A Framework for
+// Adaptive Dataflow CNN Acceleration on FPGAs" (Korol et al., DATE 2022).
+//
+// AdaFlow adds runtime adaptability to FINN-style streaming dataflow CNN
+// accelerators in two steps:
+//
+//   - Design time: a Library Generator applies dataflow-aware filter
+//     pruning (ℓ1 ranking under PE/SIMD divisibility constraints) at rates
+//     0–85 %, retrains/evaluates each version, and synthesizes one
+//     Fixed-Pruning accelerator per version plus a single Flexible-Pruning
+//     accelerator per initial model whose channel counts are runtime
+//     controllable.
+//   - Run time: a Runtime Manager watches the incoming inference workload
+//     and, under a user accuracy threshold, switches model versions —
+//     instantly on the Flexible accelerator, or by FPGA reconfiguration
+//     onto the more power-efficient Fixed ones when switches are rare.
+//
+// Because no FPGA toolchain or CIFAR-10/GTSRB data exists in this
+// environment, the hardware layer is a calibrated simulation (cycle,
+// resource, power, and reconfiguration models in internal/finn and
+// internal/synth) and datasets are synthetic (internal/dataset); DESIGN.md
+// documents every substitution. The quantized CNN engine, pruning,
+// library generation, runtime management, and the edge-server evaluation
+// are fully implemented and reproduce the paper's tables and figures in
+// shape (see EXPERIMENTS.md).
+//
+// Facade overview:
+//
+//	m, _ := adaflow.NewCNVW2A2("cifar10", 10, 1)
+//	ev, _ := adaflow.NewCalibratedEvaluator("CNVW2A2", "cifar10")
+//	lib, _ := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{Evaluator: ev})
+//	mgr, _ := adaflow.NewRuntimeManager(lib, adaflow.DefaultManagerConfig())
+//	res, _ := adaflow.RunEdge(adaflow.Scenario2(), adaflow.NewAdaFlowController(mgr), adaflow.SimConfig{Seed: 1})
+//
+// The cmd/ tools and examples/ directory exercise this API end to end;
+// bench_test.go regenerates every paper table and figure.
+package adaflow
+
+import (
+	"io"
+
+	"repro/internal/accuracy"
+	"repro/internal/compile"
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/library"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/modelio"
+	"repro/internal/train"
+)
+
+// Core model types.
+type (
+	// Model is a CNN plus AdaFlow metadata (channels, pruning rate).
+	Model = model.Model
+	// ModelConfig parameterizes custom topologies via BuildModel.
+	ModelConfig = model.Config
+
+	// Library is the design-time artifact: pruned versions + accelerators.
+	Library = library.Library
+	// LibraryEntry is one pruned version's profile.
+	LibraryEntry = library.Entry
+	// LibraryConfig parameterizes GenerateLibrary.
+	LibraryConfig = library.Config
+
+	// RuntimeManager selects model versions and accelerator families.
+	RuntimeManager = manager.Manager
+	// ManagerConfig holds the accuracy threshold and the Fixed/Flexible
+	// selection criteria.
+	ManagerConfig = manager.Config
+
+	// Evaluator measures a model version's accuracy.
+	Evaluator = accuracy.Evaluator
+
+	// Dataset is a deterministic synthetic image dataset.
+	Dataset = dataset.Dataset
+
+	// TrainOptions tune retraining.
+	TrainOptions = train.Options
+
+	// Scenario, Controller, SimConfig, Result drive edge simulations.
+	Scenario   = edge.Scenario
+	Controller = edge.Controller
+	SimConfig  = edge.SimConfig
+	Result     = edge.Result
+	// RunStats summarizes a run (frame loss, QoE, power efficiency).
+	RunStats = metrics.RunStats
+)
+
+// NewCNVW2A2 builds the paper-scale CNV with 2-bit weights/activations.
+func NewCNVW2A2(ds string, classes int, seed int64) (*Model, error) {
+	return model.CNVW2A2(ds, classes, seed)
+}
+
+// NewCNVW1A2 builds the paper-scale CNV with binary weights.
+func NewCNVW1A2(ds string, classes int, seed int64) (*Model, error) {
+	return model.CNVW1A2(ds, classes, seed)
+}
+
+// NewTinyCNV builds a test-scale CNV that trains in milliseconds.
+func NewTinyCNV(name, ds string, wbits, classes int, seed int64) (*Model, error) {
+	return model.TinyCNV(name, ds, wbits, classes, seed)
+}
+
+// BuildModel builds a custom CNV-style topology.
+func BuildModel(cfg ModelConfig) (*Model, error) { return model.Build(cfg) }
+
+// SyntheticCIFAR10 returns the CIFAR-10 stand-in dataset.
+func SyntheticCIFAR10(seed int64) *Dataset { return dataset.SyntheticCIFAR10(seed) }
+
+// SyntheticGTSRB returns the GTSRB stand-in dataset.
+func SyntheticGTSRB(seed int64) *Dataset { return dataset.SyntheticGTSRB(seed) }
+
+// TinyDataset returns the fast 4-class test dataset.
+func TinyDataset(seed int64) *Dataset { return dataset.TinyDataset(seed) }
+
+// NewCalibratedEvaluator returns the paper-calibrated accuracy curves for
+// a paper model/dataset pair ("CNVW2A2"/"cifar10", …).
+func NewCalibratedEvaluator(modelName, ds string) (Evaluator, error) {
+	return accuracy.NewCalibrated(modelName, ds)
+}
+
+// NewTrainedEvaluator retrains models on a synthetic dataset and measures
+// real test accuracy (use with tiny models).
+func NewTrainedEvaluator(ds *Dataset, opts TrainOptions) Evaluator {
+	return accuracy.NewTrained(ds, opts)
+}
+
+// DefaultTrainOptions mirrors the paper's retraining recipe at synthetic
+// scale.
+func DefaultTrainOptions() TrainOptions { return train.DefaultOptions() }
+
+// GenerateLibrary runs the design-time Library Generator.
+func GenerateLibrary(initial *Model, cfg LibraryConfig) (*Library, error) {
+	return library.Generate(initial, cfg)
+}
+
+// PaperPruningRates returns the paper's sweep (0–85 % in 5 % steps).
+func PaperPruningRates() []float64 { return library.PaperRates() }
+
+// NewRuntimeManager builds the runtime model/accelerator selector.
+func NewRuntimeManager(lib *Library, cfg ManagerConfig) (*RuntimeManager, error) {
+	return manager.New(lib, cfg)
+}
+
+// DefaultManagerConfig mirrors the paper's evaluation settings: 10 %
+// accuracy threshold, Fixed only beyond 10× the reconfiguration time.
+func DefaultManagerConfig() ManagerConfig { return manager.DefaultConfig() }
+
+// Scenario1 is the paper's stable workload (±30 % every 5 s).
+func Scenario1() Scenario { return edge.Scenario1() }
+
+// Scenario2 is the unpredictable workload (±70 % every 500 ms).
+func Scenario2() Scenario { return edge.Scenario2() }
+
+// Scenario12 is the hybrid workload (stable, then unpredictable at 15 s).
+func Scenario12() Scenario { return edge.Scenario12() }
+
+// NewAdaFlowController serves with the Runtime Manager.
+func NewAdaFlowController(mgr *RuntimeManager) Controller { return edge.NewAdaFlow(mgr) }
+
+// NewStaticFINNController serves the unpruned FINN baseline.
+func NewStaticFINNController(lib *Library) Controller { return edge.NewStaticFINN(lib) }
+
+// RunEdge simulates one scenario run.
+func RunEdge(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
+	return edge.Run(scn, ctl, cfg)
+}
+
+// RunEdgeRepeated averages repeated runs (the paper averages 100).
+func RunEdgeRepeated(scn Scenario, mk func() (Controller, error), runs int, seed int64, cfg SimConfig) (RunStats, error) {
+	mean, _, err := edge.RunRepeated(scn, mk, runs, seed, cfg)
+	return mean, err
+}
+
+// SaveModel serializes a model (with its pruning/channel metadata — the
+// role ONNX export plays in the paper's flow).
+func SaveModel(w io.Writer, m *Model) error { return modelio.Encode(w, m) }
+
+// LoadModel deserializes a model.
+func LoadModel(r io.Reader) (*Model, error) { return modelio.Decode(r) }
+
+// Program is a functional dataflow program: the model lowered to SWU/MVTU
+// stages with FINN-style per-channel threshold ladders (batch-norm and
+// activation quantization absorbed). Flexible programs are sized to
+// worst-case channels and switch models with Program.LoadModel.
+type Program = compile.Program
+
+// CompileProgram lowers a quantized model to a functional dataflow
+// program; flexible selects the worst-case-synthesized runtime-switchable
+// variant.
+func CompileProgram(m *Model, flexible bool) (*Program, error) {
+	return compile.Compile(m, flexible)
+}

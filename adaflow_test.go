@@ -1,0 +1,71 @@
+package adaflow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API with a tiny model: build,
+// library generation with a trained evaluator, runtime management, edge
+// simulation, and model serialization.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := TinyDataset(1)
+	m, err := NewTinyCNV("tiny", ds.Name, 2, ds.Classes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultTrainOptions()
+	opts.Epochs = 1
+	opts.Samples = 40
+	lib, err := GenerateLibrary(m, LibraryConfig{
+		Rates:     []float64{0, 0.5},
+		Evaluator: NewTrainedEvaluator(ds, opts),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewRuntimeManager(lib, DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEdge(Scenario1(), NewAdaFlowController(mgr), SimConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tiny accelerator's capacity vastly exceeds the scenario's 600
+	// FPS, so nothing should be lost.
+	if res.FrameLossPct > 1 {
+		t.Fatalf("tiny accelerator lost %.2f%% frames", res.FrameLossPct)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != m.Name {
+		t.Fatal("round trip lost identity")
+	}
+}
+
+func TestFacadePaperHelpers(t *testing.T) {
+	if n := len(PaperPruningRates()); n != 18 {
+		t.Fatalf("paper rates = %d", n)
+	}
+	if Scenario12().Duration != 25 {
+		t.Fatal("scenario duration")
+	}
+	if _, err := NewCalibratedEvaluator("CNVW2A2", "cifar10"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCNVW1A2("gtsrb", 43, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BaseChannels) != 6 {
+		t.Fatalf("base channels %v", m.BaseChannels)
+	}
+}

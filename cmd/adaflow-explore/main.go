@@ -1,0 +1,87 @@
+// Command adaflow-explore searches the PE/SIMD folding design space of a
+// CNV accelerator: either hit a throughput target with minimal unfolding
+// or maximize throughput within a LUT budget.
+//
+// Usage:
+//
+//	adaflow-explore [-model CNVW2A2|CNVW1A2] [-dataset cifar10|gtsrb]
+//	                [-target-fps F | -lut-budget N] [-flexible]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/finn"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaflow-explore: ")
+	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
+	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
+	targetFPS := flag.Float64("target-fps", 0, "throughput target (frames per second)")
+	lutBudget := flag.Int("lut-budget", 0, "LUT budget (alternative to -target-fps)")
+	flexible := flag.Bool("flexible", false, "explore the flexible (runtime-controllable) variant")
+	describe := flag.Bool("describe", false, "print the per-module dataflow map of the result")
+	flag.Parse()
+
+	classes := 10
+	if *ds == "gtsrb" {
+		classes = 43
+	}
+	var m *model.Model
+	var err error
+	switch *modelName {
+	case "CNVW2A2":
+		m, err = model.CNVW2A2(*ds, classes, 1)
+	case "CNVW1A2":
+		m, err = model.CNVW1A2(*ds, classes, 1)
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := explore.Options{Flexible: *flexible, MaxIterations: 10000}
+	var res *explore.Result
+	switch {
+	case *targetFPS > 0 && *lutBudget > 0:
+		log.Fatal("use either -target-fps or -lut-budget, not both")
+	case *targetFPS > 0:
+		res, err = explore.TargetFPS(m, *targetFPS, opts)
+	case *lutBudget > 0:
+		res, err = explore.MaxFPSWithin(m, *lutBudget, opts)
+	default:
+		log.Fatal("specify -target-fps or -lut-budget")
+	}
+	if err != nil {
+		log.Printf("search note: %v", err)
+	}
+	if res == nil {
+		log.Fatal("no design point found")
+	}
+
+	fmt.Printf("design point after %d unfolding steps (bottleneck: %s)\n", res.Iterations, res.Bottleneck)
+	fmt.Printf("  throughput: %.1f FPS\n", res.FPS)
+	fmt.Printf("  resources:  LUT=%d FF=%d BRAM=%d DSP=%d\n",
+		res.Res.LUT, res.Res.FF, res.Res.BRAM, res.Res.DSP)
+	fmt.Printf("  conv PE:    %v\n", res.Folding.ConvPE)
+	fmt.Printf("  conv SIMD:  %v\n", res.Folding.ConvSIMD)
+	fmt.Printf("  dense PE:   %v\n", res.Folding.DensePE)
+	fmt.Printf("  dense SIMD: %v\n", res.Folding.DenseSIMD)
+
+	if *describe {
+		df, err := finn.Map(m, res.Folding, finn.Options{Flexible: *flexible})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		df.Describe(os.Stdout)
+	}
+}

@@ -1,0 +1,53 @@
+// Command adaflow-hlsgen emits the HLS C++ template instantiations for a
+// CNV dataflow accelerator — the Fixed (FINN) templates or AdaFlow's
+// Flexible templates with runtime-controllable channel guards (the
+// paper's Fig. 3 artifacts).
+//
+// Usage:
+//
+//	adaflow-hlsgen [-model CNVW2A2|CNVW1A2] [-dataset cifar10|gtsrb] [-flexible]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/finn"
+	"repro/internal/hlsgen"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaflow-hlsgen: ")
+	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
+	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
+	flexible := flag.Bool("flexible", false, "emit the runtime-controllable Flexible templates")
+	flag.Parse()
+
+	classes := 10
+	if *ds == "gtsrb" {
+		classes = 43
+	}
+	var m *model.Model
+	var err error
+	switch *modelName {
+	case "CNVW2A2":
+		m, err = model.CNVW2A2(*ds, classes, 1)
+	case "CNVW1A2":
+		m, err = model.CNVW1A2(*ds, classes, 1)
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	df, err := finn.Map(m, finn.DefaultFolding(m), finn.Options{Flexible: *flexible})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hlsgen.Dataflow(os.Stdout, df); err != nil {
+		log.Fatal(err)
+	}
+}

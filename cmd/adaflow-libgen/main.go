@@ -1,0 +1,82 @@
+// Command adaflow-libgen runs AdaFlow's design-time Library Generator for
+// one of the paper's model/dataset pairs and prints the resulting library
+// table: pruned versions with accuracy, throughput, resources, and power.
+//
+// Usage:
+//
+//	adaflow-libgen [-model CNVW2A2|CNVW1A2] [-dataset cifar10|gtsrb]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/accuracy"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaflow-libgen: ")
+	modelName := flag.String("model", "CNVW2A2", "initial CNN model (CNVW2A2 or CNVW1A2)")
+	ds := flag.String("dataset", "cifar10", "dataset (cifar10 or gtsrb)")
+	saveTable := flag.String("save-table", "", "write the library table as JSON to this file")
+	flag.Parse()
+
+	classes := 10
+	if *ds == "gtsrb" {
+		classes = 43
+	}
+	var m *model.Model
+	var err error
+	switch *modelName {
+	case "CNVW2A2":
+		m, err = model.CNVW2A2(*ds, classes, 1)
+	case "CNVW1A2":
+		m, err = model.CNVW1A2(*ds, classes, 1)
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := accuracy.NewCalibrated(*modelName, *ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AdaFlow library for %s on %s\n", *modelName, *ds)
+	fmt.Printf("flexible accelerator: LUT=%d FF=%d BRAM=%d (baseline FINN LUT=%d)\n",
+		lib.Flexible.Res.LUT, lib.Flexible.Res.FF, lib.Flexible.Res.BRAM, lib.Baseline.Res.LUT)
+	fmt.Printf("reconfiguration time: %v, fast switch: %v\n\n", lib.ReconfigTime, lib.FlexSwitchTime)
+	fmt.Printf("%-6s %-9s %-22s %-10s %-10s %-10s %-9s %-9s\n",
+		"rate", "eff.rate", "channels", "accuracy%", "fixedFPS", "flexFPS", "LUT", "mJ/inf")
+	for _, e := range lib.Entries {
+		fmt.Printf("%-6.2f %-9.3f %-22v %-10.2f %-10.1f %-10.1f %-9d %-9.3f\n",
+			e.NominalRate, e.EffectiveRate, e.Channels, e.Accuracy*100,
+			e.FixedFPS, e.FlexFPS, e.Fixed.Res.LUT, e.Fixed.TotalEnergyPerInference()*1e3)
+	}
+	fmt.Printf("\ndistinct versions: %d of %d entries\n", lib.DistinctVersions(), len(lib.Entries))
+	if err := lib.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "library validation: %v\n", err)
+		os.Exit(1)
+	}
+	if *saveTable != "" {
+		f, err := os.Create(*saveTable)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := lib.SaveTable(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("library table written to %s\n", *saveTable)
+	}
+}

@@ -1,0 +1,139 @@
+// Command adaflow-sim runs the Edge-server simulation for one scenario and
+// controller, printing the run summary and (optionally) the per-step
+// trace as CSV.
+//
+// Usage:
+//
+//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf]
+//	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
+//	            [-reconfig-ms 145] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/accuracy"
+	"repro/internal/edge"
+	"repro/internal/library"
+	"repro/internal/manager"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaflow-sim: ")
+	scenario := flag.String("scenario", "2", "workload scenario: 1, 2, or 1+2")
+	controller := flag.String("controller", "adaflow", "adaflow, finn, or reconf")
+	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
+	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
+	runs := flag.Int("runs", 1, "repetitions to average")
+	seed := flag.Int64("seed", 1, "workload seed")
+	threshold := flag.Float64("threshold", 0.10, "accuracy threshold")
+	criteria := flag.Float64("criteria", 10, "fixed/flexible criteria multiple")
+	reconfMS := flag.Float64("reconfig-ms", 145, "reconfiguration time for -controller reconf")
+	trace := flag.Bool("trace", false, "print per-step trace CSV (single run)")
+	flag.Parse()
+
+	var scn edge.Scenario
+	switch *scenario {
+	case "1":
+		scn = edge.Scenario1()
+	case "2":
+		scn = edge.Scenario2()
+	case "1+2", "12":
+		scn = edge.Scenario12()
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+
+	classes := 10
+	if *ds == "gtsrb" {
+		classes = 43
+	}
+	var m *model.Model
+	var err error
+	switch *modelName {
+	case "CNVW2A2":
+		m, err = model.CNVW2A2(*ds, classes, 1)
+	case "CNVW1A2":
+		m, err = model.CNVW1A2(*ds, classes, 1)
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := accuracy.NewCalibrated(*modelName, *ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mk := func() (edge.Controller, error) {
+		switch *controller {
+		case "adaflow":
+			cfg := manager.DefaultConfig()
+			cfg.AccuracyThreshold = *threshold
+			cfg.CriteriaMultiple = *criteria
+			mgr, err := manager.New(lib, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return edge.NewAdaFlow(mgr), nil
+		case "finn":
+			return edge.NewStaticFINN(lib), nil
+		case "reconf":
+			return edge.NewPruningReconf(lib, *threshold,
+				time.Duration(*reconfMS*float64(time.Millisecond)))
+		default:
+			return nil, fmt.Errorf("unknown controller %q", *controller)
+		}
+	}
+
+	if *trace || *runs == 1 {
+		ctl, err := mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := edge.Run(scn, ctl, edge.SimConfig{Seed: *seed, RecordTrace: *trace})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(scn.Name, *controller, res.RunStats.FrameLossPct, res.RunStats.QoEPct,
+			res.RunStats.AvgPowerW, res.RunStats.PowerEff, res.RunStats.Switches, res.RunStats.Reconfigs)
+		for _, ev := range res.Switches {
+			kind := "fast"
+			if ev.Reconfigured {
+				kind = "reconf"
+			}
+			fmt.Printf("switch t=%6.2fs %-18s (%s)\n", ev.Time, ev.Label, kind)
+		}
+		if *trace {
+			fmt.Println("time,incoming_fps,processed_fps,loss_pct,inst_loss_pct,qoe_pct,accuracy,power_w")
+			for _, p := range res.Trace {
+				fmt.Printf("%.2f,%.1f,%.1f,%.2f,%.2f,%.2f,%.4f,%.3f\n",
+					p.Time, p.IncomingFPS, p.ProcessedFPS, p.LossPct, p.InstLossPct, p.QoEPct, p.Accuracy, p.PowerW)
+			}
+		}
+		return
+	}
+
+	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = runsOut
+	printStats(scn.Name, *controller, mean.FrameLossPct, mean.QoEPct,
+		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
+}
+
+func printStats(scn, ctl string, loss, qoe, power, eff float64, switches, reconfigs int) {
+	fmt.Printf("%s / %s: frame loss %.2f%%, QoE %.2f%%, power %.3f W, %.1f inf/J, %d switches, %d reconfigs\n",
+		scn, ctl, loss, qoe, power, eff, switches, reconfigs)
+}

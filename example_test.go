@@ -1,0 +1,63 @@
+package adaflow_test
+
+import (
+	"fmt"
+
+	adaflow "repro"
+)
+
+// Example builds a tiny library and lets the Runtime Manager pick a
+// serving configuration for a workload level.
+func Example() {
+	ds := adaflow.TinyDataset(1)
+	m, err := adaflow.NewTinyCNV("tiny", ds.Name, 2, ds.Classes, 1)
+	if err != nil {
+		panic(err)
+	}
+	opts := adaflow.DefaultTrainOptions()
+	opts.Epochs = 1
+	opts.Samples = 40
+	lib, err := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{
+		Rates:     []float64{0, 0.5},
+		Evaluator: adaflow.NewTrainedEvaluator(ds, opts),
+	})
+	if err != nil {
+		panic(err)
+	}
+	mgr, err := adaflow.NewRuntimeManager(lib, adaflow.DefaultManagerConfig())
+	if err != nil {
+		panic(err)
+	}
+	d, changed := mgr.Decide(0, 1000)
+	fmt.Println("versions:", len(lib.Entries), "switched:", changed, "family:", d.Kind)
+	// Output: versions: 2 switched: true family: Fixed
+}
+
+// ExampleCompileProgram lowers a model to a functional dataflow program
+// and runs one frame.
+func ExampleCompileProgram() {
+	ds := adaflow.TinyDataset(2)
+	m, err := adaflow.NewTinyCNV("tiny", ds.Name, 2, ds.Classes, 2)
+	if err != nil {
+		panic(err)
+	}
+	p, err := adaflow.CompileProgram(m, false)
+	if err != nil {
+		panic(err)
+	}
+	x, _ := ds.TestSample(0)
+	logits, err := p.Run(x)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("logits:", logits.Len())
+	// Output: logits: 4
+}
+
+// ExampleScenario2 shows the paper's unpredictable workload definition.
+func ExampleScenario2() {
+	s := adaflow.Scenario2()
+	fmt.Printf("%s: %v devices, ±%.0f%% every %v ms\n",
+		s.Name, s.Devices, s.Phases[0].Deviation*100, s.Phases[0].Interval*1000)
+	// Output: scenario2: 20 devices, ±70% every 500 ms
+}

@@ -1,0 +1,47 @@
+// Designspace: explore the accuracy/throughput/resource/energy design
+// space AdaFlow's Library Generator opens up for CNVW2A2 on both datasets
+// (Figures 1(a) and 5 of the paper).
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adaflow "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, ds := range []string{"cifar10", "gtsrb"} {
+		classes := 10
+		if ds == "gtsrb" {
+			classes = 43
+		}
+		m, err := adaflow.NewCNVW2A2(ds, classes, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := adaflow.NewCalibratedEvaluator("CNVW2A2", ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib, err := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{Evaluator: ev})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("design space: CNVW2A2 on %s (flexible accel: %d LUTs = %.2fx FINN)\n",
+			ds, lib.Flexible.Res.LUT,
+			float64(lib.Flexible.Res.LUT)/float64(lib.Baseline.Res.LUT))
+		fmt.Printf("%-6s %-10s %-9s %-9s %-8s %-9s\n", "rate", "accuracy%", "FPS", "LUT", "BRAM", "mJ/inf")
+		for _, e := range lib.Entries {
+			fmt.Printf("%-6.2f %-10.2f %-9.1f %-9d %-8d %-9.3f\n",
+				e.NominalRate, e.Accuracy*100, e.FixedFPS,
+				e.Fixed.Res.LUT, e.Fixed.Res.BRAM,
+				e.Fixed.TotalEnergyPerInference()*1e3)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,94 @@
+// Functionalsim: functionally simulate the dataflow accelerator (the
+// Verilator-style check of the paper's methodology). A tiny model is
+// trained, lowered to SWU/MVTU stages with threshold ladders, and run on
+// the test set three ways: the nn engine, a Fixed-Pruning program, and a
+// worst-case-synthesized Flexible-Pruning program that fast-switches
+// between the unpruned and a pruned version — all three must agree.
+//
+// Run with: go run ./examples/functionalsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adaflow "repro"
+	"repro/internal/finn"
+	"repro/internal/prune"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds := adaflow.TinyDataset(13)
+	m, err := adaflow.NewTinyCNV("tinycnv-w2a2", ds.Name, 2, ds.Classes, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := adaflow.DefaultTrainOptions()
+	opts.Epochs = 2
+	tr, err := train.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tr.Fit(m, ds); err != nil {
+		log.Fatal(err)
+	}
+
+	fold := finn.DefaultFolding(m)
+	gs, err := fold.ChannelGranularity(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pruned, _, err := prune.Shrink(m, 0.5, gs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fixed, err := adaflow.CompileProgram(m, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flex, err := adaflow.CompileProgram(m, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agree := func(p *adaflow.Program, ref *adaflow.Model, n int) int {
+		matches := 0
+		for i := 0; i < n; i++ {
+			x, _ := ds.TestSample(i)
+			want, err := ref.Net.Forward(x, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, err := p.Run(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if got.ArgMax() == want.ArgMax() {
+				matches++
+			}
+		}
+		return matches
+	}
+
+	const n = 40
+	fmt.Printf("fixed program vs nn engine (unpruned):   %d/%d predictions agree\n", agree(fixed, m, n), n)
+	fmt.Printf("flexible program vs nn engine (unpruned): %d/%d predictions agree\n", agree(flex, m, n), n)
+
+	// Fast model switch: load the pruned version into the same flexible
+	// program (channel-port write + weight reload, no reconfiguration).
+	if err := flex.LoadModel(pruned); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flexible program after fast switch to 50%% pruned (channels %v → %v): %d/%d agree with the pruned model\n",
+		flex.WorstChannels, flex.CurChannels, agree(flex, pruned, n), n)
+
+	// And back.
+	if err := flex.LoadModel(m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flexible program after switching back:   %d/%d agree with the unpruned model\n", agree(flex, m, n), n)
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a tiny quantized CNN, generate an AdaFlow library with
+// real (trained) accuracy measurements, and let the Runtime Manager pick
+// serving configurations for a few workload levels.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adaflow "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-class synthetic dataset and a tiny CNV-style model (2-bit
+	// weights, 2-bit activations) that trains in well under a second.
+	ds := adaflow.TinyDataset(1)
+	m, err := adaflow.NewTinyCNV("tinycnv-w2a2", ds.Name, 2, ds.Classes, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Design time: generate the library. Each pruned version is retrained
+	// on the dataset and measured (the paper's retrain-for-40-epochs step,
+	// scaled down).
+	opts := adaflow.DefaultTrainOptions()
+	opts.Epochs = 2
+	opts.Samples = 120
+	lib, err := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{
+		Rates:      []float64{0, 0.25, 0.5},
+		Evaluator:  adaflow.NewTrainedEvaluator(ds, opts),
+		KeepModels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("library:")
+	for _, e := range lib.Entries {
+		fmt.Printf("  rate %.0f%%  channels %v  accuracy %.1f%%  fixed %.0f FPS  flex %.0f FPS\n",
+			e.NominalRate*100, e.Channels, e.Accuracy*100, e.FixedFPS, e.FlexFPS)
+	}
+	fmt.Printf("flexible accelerator LUTs: %d (baseline FINN: %d)\n\n",
+		lib.Flexible.Res.LUT, lib.Baseline.Res.LUT)
+
+	// Run time: the manager reacts to workload levels.
+	mgr, err := adaflow.NewRuntimeManager(lib, adaflow.DefaultManagerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, fps := range []float64{1000, 800000, 2000} {
+		d, changed := mgr.Decide(float64(i), fps)
+		e := lib.Entries[d.Entry]
+		cost := "no change"
+		if changed {
+			cost = fmt.Sprintf("switch cost %v", d.SwitchCost)
+		}
+		fmt.Printf("workload %6.0f FPS → version %.0f%% pruned on %s accelerator (%s)\n",
+			fps, e.NominalRate*100, d.Kind, cost)
+	}
+}

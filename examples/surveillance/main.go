@@ -1,0 +1,84 @@
+// Surveillance: the paper's motivating scenario end to end — 20 IoT
+// cameras stream frames at 30 FPS to an FPGA-equipped Edge server for 25 s
+// under the hybrid workload (stable, then unpredictable at 15 s). Compares
+// the static FINN baseline against AdaFlow and prints the switch timeline
+// plus an ASCII frame-loss sketch of Figure 6(a).
+//
+// Run with: go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	adaflow "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := adaflow.NewCNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := adaflow.NewCalibratedEvaluator("CNVW2A2", "cifar10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{Evaluator: ev})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scn := adaflow.Scenario12()
+	fmt.Printf("scenario %s: %d devices x %.0f FPS for %.0f s\n\n",
+		scn.Name, scn.Devices, scn.PerDeviceFPS, scn.Duration)
+
+	finnRes, err := adaflow.RunEdge(scn, adaflow.NewStaticFINNController(lib), adaflow.SimConfig{Seed: 1, RecordTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := adaflow.NewRuntimeManager(lib, adaflow.DefaultManagerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaRes, err := adaflow.RunEdge(scn, adaflow.NewAdaFlowController(mgr), adaflow.SimConfig{Seed: 1, RecordTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s loss %6.2f%%  QoE %6.2f%%  power %.3f W  %6.1f inf/J\n",
+		"FINN", finnRes.FrameLossPct, finnRes.QoEPct, finnRes.AvgPowerW, finnRes.PowerEff)
+	fmt.Printf("%-10s loss %6.2f%%  QoE %6.2f%%  power %.3f W  %6.1f inf/J\n\n",
+		"AdaFlow", adaRes.FrameLossPct, adaRes.QoEPct, adaRes.AvgPowerW, adaRes.PowerEff)
+
+	fmt.Println("AdaFlow switch timeline:")
+	for _, ev := range adaRes.Switches {
+		kind := "fast switch"
+		if ev.Reconfigured {
+			kind = "FPGA reconfig"
+		}
+		fmt.Printf("  t=%6.2fs  %-16s (%s)\n", ev.Time, ev.Label, kind)
+	}
+
+	// ASCII cumulative frame-loss curves, one row per second.
+	fmt.Println("\ncumulative frame loss (#=FINN, *=AdaFlow), 0-40% scale:")
+	for s := 1; s <= int(scn.Duration); s++ {
+		i := s*100 - 1
+		f := finnRes.Trace[i].LossPct
+		a := adaRes.Trace[i].LossPct
+		row := []byte(strings.Repeat(" ", 41))
+		fi := int(f + 0.5)
+		ai := int(a + 0.5)
+		if fi > 40 {
+			fi = 40
+		}
+		if ai > 40 {
+			ai = 40
+		}
+		row[fi] = '#'
+		row[ai] = '*'
+		fmt.Printf("t=%2ds |%s| FINN %5.1f%%  AdaFlow %5.1f%%\n", s, string(row), f, a)
+	}
+}

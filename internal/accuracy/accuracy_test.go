@@ -1,0 +1,109 @@
+package accuracy
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/prune"
+	"repro/internal/train"
+)
+
+func TestNewCalibratedKnownPairs(t *testing.T) {
+	for _, key := range [][2]string{
+		{"CNVW2A2", "cifar10"}, {"CNVW2A2", "gtsrb"},
+		{"CNVW1A2", "cifar10"}, {"CNVW1A2", "gtsrb"},
+	} {
+		if _, err := NewCalibrated(key[0], key[1]); err != nil {
+			t.Errorf("%v: %v", key, err)
+		}
+	}
+	if _, err := NewCalibrated("resnet", "imagenet"); err == nil {
+		t.Fatal("unknown pair accepted")
+	}
+}
+
+// Pins the Fig. 5(b) anchor: CNVW2A2/CIFAR-10 loses ≈9.9 accuracy points
+// at 25 % pruning.
+func TestCalibratedAnchorAt25(t *testing.T) {
+	c, err := NewCalibrated("CNVW2A2", "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := c.Baseline - c.AccuracyAtRate(0.25)
+	if loss < 0.085 || loss > 0.115 {
+		t.Fatalf("loss at 25%% = %.3f, want ≈0.099", loss)
+	}
+}
+
+func TestCalibratedMonotoneAndFloored(t *testing.T) {
+	c, err := NewCalibrated("CNVW1A2", "gtsrb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	for p := 0.0; p <= 0.90; p += 0.05 {
+		a := c.AccuracyAtRate(p)
+		if a > prev {
+			t.Fatalf("accuracy increases at p=%v", p)
+		}
+		if a < c.Chance {
+			t.Fatalf("accuracy below chance at p=%v", p)
+		}
+		prev = a
+	}
+}
+
+func TestEffectivePruneFraction(t *testing.T) {
+	m, err := model.TinyCNV("tiny", "tiny-syn", 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := EffectivePruneFraction(m); p != 0 {
+		t.Fatalf("unpruned fraction = %v", p)
+	}
+	pr, _, err := prune.Shrink(m, 0.5, prune.Ones(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := EffectivePruneFraction(pr); p != 0.5 {
+		t.Fatalf("pruned fraction = %v, want 0.5", p)
+	}
+}
+
+func TestCalibratedAccuracyOnModel(t *testing.T) {
+	c, err := NewCalibrated("CNVW2A2", "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Accuracy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c.Baseline {
+		t.Fatalf("unpruned accuracy %v != baseline %v", a, c.Baseline)
+	}
+}
+
+func TestTrainedEvaluatorRuns(t *testing.T) {
+	ds := dataset.TinyDataset(3)
+	m, err := model.TinyCNV("tiny", ds.Name, 0, ds.Classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := train.DefaultOptions()
+	opts.Epochs = 2
+	opts.Samples = 80
+	ev := NewTrained(ds, opts)
+	a, err := ev.Accuracy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0 || a > 1 {
+		t.Fatalf("accuracy %v out of range", a)
+	}
+}

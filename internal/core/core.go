@@ -1,0 +1,120 @@
+// Package core composes AdaFlow's two-step workflow (paper Fig. 4): from
+// user inputs — initial CNN models, datasets, FINN configuration, and an
+// accuracy threshold — through the Library Generator to a set of Runtime
+// Managers ready to serve. It is the paper's "AdaFlow framework" box; the
+// pieces it wires are internal/prune, internal/library, and
+// internal/manager.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/library"
+	"repro/internal/manager"
+	"repro/internal/model"
+)
+
+// Input is one initial CNN model plus its accuracy evaluator (a trained
+// evaluator carrying the training dataset, or a calibrated curve).
+type Input struct {
+	Model     *model.Model
+	Evaluator accuracy.Evaluator
+}
+
+// Config mirrors the user inputs of Fig. 4.
+type Config struct {
+	// AccuracyThreshold is the user's maximum tolerated accuracy loss.
+	AccuracyThreshold float64
+	// CriteriaMultiple tunes the Fixed/Flexible rule (default 10).
+	CriteriaMultiple float64
+	// Library options (rates, device, clock) applied to every input.
+	Library library.Config
+}
+
+// Deployment is one generated library plus its Runtime Manager.
+type Deployment struct {
+	Library *library.Library
+	Manager *manager.Manager
+}
+
+// Framework is the assembled AdaFlow instance over all inputs.
+type Framework struct {
+	Deployments map[string]*Deployment // keyed by model.Key() of the initial model
+	cfg         Config
+}
+
+// Build runs the design-time step for every input and prepares the
+// runtime step: one library and one manager per initial model/dataset
+// pair, exactly the artifact set of Fig. 4.
+func Build(inputs []Input, cfg Config) (*Framework, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: no inputs")
+	}
+	if cfg.AccuracyThreshold <= 0 {
+		return nil, fmt.Errorf("core: accuracy threshold must be positive")
+	}
+	if cfg.CriteriaMultiple == 0 {
+		cfg.CriteriaMultiple = 10
+	}
+	fw := &Framework{Deployments: map[string]*Deployment{}, cfg: cfg}
+	for i, in := range inputs {
+		if in.Model == nil {
+			return nil, fmt.Errorf("core: input %d has no model", i)
+		}
+		if in.Evaluator == nil {
+			return nil, fmt.Errorf("core: input %d has no evaluator", i)
+		}
+		libCfg := cfg.Library
+		libCfg.Evaluator = in.Evaluator
+		lib, err := library.Generate(in.Model, libCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: input %d (%s): %w", i, in.Model.Key(), err)
+		}
+		mgr, err := manager.New(lib, manager.Config{
+			AccuracyThreshold: cfg.AccuracyThreshold,
+			CriteriaMultiple:  cfg.CriteriaMultiple,
+			Policy:            manager.PolicyThroughput,
+		})
+		if err != nil {
+			return nil, err
+		}
+		key := in.Model.Key()
+		if _, dup := fw.Deployments[key]; dup {
+			return nil, fmt.Errorf("core: duplicate input %s", key)
+		}
+		fw.Deployments[key] = &Deployment{Library: lib, Manager: mgr}
+	}
+	return fw, nil
+}
+
+// Deployment returns the deployment for an initial model key
+// ("CNVW2A2/cifar10/p00" style, see model.Key).
+func (f *Framework) Deployment(key string) (*Deployment, error) {
+	d, ok := f.Deployments[key]
+	if !ok {
+		return nil, fmt.Errorf("core: no deployment %q (have %d)", key, len(f.Deployments))
+	}
+	return d, nil
+}
+
+// SetAccuracyThreshold rebuilds every manager with a new threshold — the
+// runtime knob the user can turn (the Runtime Manager "will act every time
+// there is a change in either accuracy threshold … or incoming FPS").
+func (f *Framework) SetAccuracyThreshold(threshold float64) error {
+	if threshold <= 0 {
+		return fmt.Errorf("core: accuracy threshold must be positive")
+	}
+	for key, d := range f.Deployments {
+		mgr, err := manager.New(d.Library, manager.Config{
+			AccuracyThreshold: threshold,
+			CriteriaMultiple:  f.cfg.CriteriaMultiple,
+		})
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", key, err)
+		}
+		d.Manager = mgr
+	}
+	f.cfg.AccuracyThreshold = threshold
+	return nil
+}

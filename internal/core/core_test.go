@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/edge"
+	"repro/internal/model"
+)
+
+func inputs(t *testing.T) []Input {
+	t.Helper()
+	var ins []Input
+	for _, spec := range []struct {
+		name, ds string
+		classes  int
+	}{
+		{"CNVW2A2", "cifar10", 10},
+		{"CNVW1A2", "gtsrb", 43},
+	} {
+		var m *model.Model
+		var err error
+		if spec.name == "CNVW2A2" {
+			m, err = model.CNVW2A2(spec.ds, spec.classes, 1)
+		} else {
+			m, err = model.CNVW1A2(spec.ds, spec.classes, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := accuracy.NewCalibrated(spec.name, spec.ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, Input{Model: m, Evaluator: ev})
+	}
+	return ins
+}
+
+func TestBuildWorkflow(t *testing.T) {
+	fw, err := Build(inputs(t), Config{AccuracyThreshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Deployments) != 2 {
+		t.Fatalf("deployments = %d", len(fw.Deployments))
+	}
+	d, err := fw.Deployment("CNVW2A2/cifar10/p00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Library.Entries) != 18 {
+		t.Fatalf("entries = %d", len(d.Library.Entries))
+	}
+	// The deployment serves end to end.
+	res, err := edge.Run(edge.Scenario1(), edge.NewAdaFlow(d.Manager), edge.SimConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameLossPct > 10 {
+		t.Fatalf("loss %.1f%%", res.FrameLossPct)
+	}
+	if _, err := fw.Deployment("nope"); err == nil {
+		t.Fatal("unknown deployment accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Config{AccuracyThreshold: 0.1}); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+	ins := inputs(t)[:1]
+	if _, err := Build(ins, Config{}); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := Build([]Input{{Model: nil}}, Config{AccuracyThreshold: 0.1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Build([]Input{{Model: ins[0].Model}}, Config{AccuracyThreshold: 0.1}); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+	dup := []Input{ins[0], ins[0]}
+	if _, err := Build(dup, Config{AccuracyThreshold: 0.1}); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+}
+
+func TestSetAccuracyThreshold(t *testing.T) {
+	fw, err := Build(inputs(t)[:1], Config{AccuracyThreshold: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.Deployment("CNVW2A2/cifar10/p00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightIdx := d.Manager.SelectModel(1e9)
+	if err := fw.SetAccuracyThreshold(0.30); err != nil {
+		t.Fatal(err)
+	}
+	d, err = fw.Deployment("CNVW2A2/cifar10/p00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseIdx := d.Manager.SelectModel(1e9)
+	if d.Library.Entries[looseIdx].FixedFPS <= d.Library.Entries[tightIdx].FixedFPS {
+		t.Fatal("loosening the threshold did not unlock faster versions")
+	}
+	if err := fw.SetAccuracyThreshold(0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RunEventLevel simulates a scenario at per-frame granularity: one arrival
+// event per frame, one completion event per service, exact queueing
+// delays. It is an order of magnitude slower than Run's fluid accounting
+// (≈30 k events per 25 s run) and exists to validate it — the test suite
+// checks that both modes agree on frame loss and QoE — and to measure
+// true per-frame latency rather than Little's-law estimates.
+func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
+	cfg.defaults()
+	if ctl == nil {
+		return nil, fmt.Errorf("edge: nil controller")
+	}
+	rng := sim.RNG(cfg.Seed, "workload/"+scn.Name)
+	wl, err := NewWorkload(scn, rng)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+
+	var acc metrics.Accumulator
+	res := &Result{}
+
+	serving, _, _, _ := ctl.React(0, wl.Rate())
+	if serving.PowerAt == nil {
+		return nil, fmt.Errorf("edge: controller returned no power model")
+	}
+	// Per-inference energy implied by the serving power model.
+	eInf := func(s Serving) float64 { return s.PowerAt(1) - s.IdlePower }
+
+	var (
+		queue      []float64 // arrival timestamps of queued frames
+		busy       bool
+		stallUntil float64
+		lastPowerT float64 // integration cursor for idle power
+		latencySum float64
+		latencyN   float64
+	)
+
+	// integrate idle power up to now.
+	integrate := func(now float64) {
+		if now > lastPowerT {
+			acc.EnergyJ += serving.IdlePower * (now - lastPowerT)
+			lastPowerT = now
+		}
+	}
+
+	var startService func()
+	startService = func() {
+		now := eng.Now()
+		if busy || len(queue) == 0 || now < stallUntil || serving.FPS <= 0 {
+			return
+		}
+		busy = true
+		arrivedAt := queue[0]
+		queue = queue[1:]
+		svc := 1 / serving.FPS
+		cur := serving
+		if err := eng.After(svc, func() {
+			busy = false
+			done := eng.Now()
+			integrate(done)
+			acc.Add(0, 1, 0, cur.Accuracy, eInf(cur), 0)
+			latencySum += done - arrivedAt
+			latencyN++
+			startService()
+		}); err != nil {
+			panic(err) // forward scheduling cannot fail
+		}
+	}
+
+	react := func(now float64) {
+		integrate(now)
+		s, stall, switched, reconf := ctl.React(now, wl.Rate())
+		if switched || reconf {
+			if stall > 0 {
+				if until := now + stall.Seconds(); until > stallUntil {
+					stallUntil = until
+					if err := eng.Schedule(stallUntil, startService); err != nil {
+						panic(err)
+					}
+				}
+			}
+			res.Switches = append(res.Switches, SwitchEvent{Time: now, Label: s.Label, Reconfigured: reconf})
+			if switched {
+				acc.Switches++
+			}
+			if reconf {
+				acc.Reconfigs++
+			}
+		}
+		serving = s
+	}
+
+	// Workload boundaries.
+	var scheduleRedraw func(t float64)
+	scheduleRedraw = func(t float64) {
+		next := wl.NextBoundary(t)
+		if next >= scn.Duration {
+			return
+		}
+		if err := eng.Schedule(next, func() {
+			wl.Redraw(eng.Now())
+			react(eng.Now())
+			scheduleRedraw(eng.Now())
+		}); err != nil {
+			panic(err)
+		}
+	}
+	scheduleRedraw(0)
+
+	// Frame arrivals: deterministic spacing at the current rate, or
+	// exponential gaps when PoissonArrivals is set.
+	arrivalRNG := sim.RNG(cfg.Seed, "arrivals/"+scn.Name)
+	var scheduleArrival func(t float64)
+	scheduleArrival = func(t float64) {
+		if wl.Rate() <= 0 {
+			// Re-check at the next workload boundary.
+			nb := wl.NextBoundary(t)
+			if nb < scn.Duration {
+				if err := eng.Schedule(nb+1e-9, func() { scheduleArrival(eng.Now()) }); err != nil {
+					panic(err)
+				}
+			}
+			return
+		}
+		gap := 1 / wl.Rate()
+		if cfg.PoissonArrivals {
+			gap = arrivalRNG.ExpFloat64() / wl.Rate()
+		}
+		next := t + gap
+		if next >= scn.Duration {
+			return
+		}
+		if err := eng.Schedule(next, func() {
+			now := eng.Now()
+			integrate(now)
+			if float64(len(queue)) >= cfg.QueueFrames {
+				acc.Add(1, 0, 1, 0, 0, 0)
+			} else {
+				acc.Add(1, 0, 0, 0, 0, 0)
+				queue = append(queue, now)
+				startService()
+			}
+			scheduleArrival(now)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	scheduleArrival(0)
+
+	eng.Run(scn.Duration)
+	integrate(scn.Duration)
+	acc.Seconds = scn.Duration
+
+	res.RunStats = acc.Finalize()
+	if latencyN > 0 {
+		res.RunStats.AvgLatencyMS = latencySum / latencyN * 1e3
+	}
+	return res, nil
+}

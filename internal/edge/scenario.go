@@ -1,0 +1,219 @@
+// Package edge simulates the paper's evaluation environment (§V): an
+// FPGA-equipped Edge server receiving inference requests from IoT cameras
+// whose aggregate frame rate fluctuates over time. It runs on the
+// discrete-event kernel in internal/sim and drives a serving controller —
+// the static FINN baseline, a reconfiguration-only switcher (Fig. 1(b)),
+// or the full AdaFlow Runtime Manager.
+package edge
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Phase is a span of a scenario with its workload fluctuation law: every
+// Interval seconds the aggregate rate is redrawn as
+// base·(1 + U(−Deviation, +Deviation)).
+type Phase struct {
+	Start     float64 // seconds from scenario start
+	Deviation float64 // fraction, e.g. 0.30
+	Interval  float64 // seconds between redraws
+}
+
+// Churn models a variable number of connected IoT devices — one of the
+// workload factors the paper's introduction motivates adaptation with.
+// Every Interval seconds the active-device count takes a uniform step in
+// [-MaxStep, +MaxStep], clamped to [MinDevices, MaxDevices].
+type Churn struct {
+	MinDevices int
+	MaxDevices int
+	MaxStep    int
+	Interval   float64
+}
+
+// Validate checks churn invariants.
+func (c *Churn) Validate(devices int) error {
+	switch {
+	case c.MinDevices < 1 || c.MaxDevices < c.MinDevices:
+		return fmt.Errorf("edge: churn device range [%d,%d] invalid", c.MinDevices, c.MaxDevices)
+	case devices < c.MinDevices || devices > c.MaxDevices:
+		return fmt.Errorf("edge: initial device count %d outside churn range [%d,%d]", devices, c.MinDevices, c.MaxDevices)
+	case c.MaxStep < 1:
+		return fmt.Errorf("edge: churn step %d must be positive", c.MaxStep)
+	case c.Interval <= 0:
+		return fmt.Errorf("edge: churn interval must be positive")
+	}
+	return nil
+}
+
+// Scenario describes a workload evaluation (paper §V: 20 devices at 30 FPS
+// for 25 s).
+type Scenario struct {
+	Name         string
+	Duration     float64
+	Devices      int
+	PerDeviceFPS float64
+	Phases       []Phase
+	// Churn, when non-nil, varies the connected-device count over time.
+	Churn *Churn
+}
+
+// BaseRate returns the nominal aggregate incoming FPS.
+func (s Scenario) BaseRate() float64 { return float64(s.Devices) * s.PerDeviceFPS }
+
+// Validate checks scenario invariants.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Duration <= 0:
+		return fmt.Errorf("edge: scenario %q has non-positive duration", s.Name)
+	case s.Devices <= 0 || s.PerDeviceFPS <= 0:
+		return fmt.Errorf("edge: scenario %q has non-positive workload", s.Name)
+	case len(s.Phases) == 0:
+		return fmt.Errorf("edge: scenario %q has no phases", s.Name)
+	}
+	prev := -1.0
+	for i, p := range s.Phases {
+		if p.Start < 0 || p.Start <= prev && i > 0 {
+			return fmt.Errorf("edge: scenario %q phase %d starts out of order", s.Name, i)
+		}
+		if p.Deviation < 0 || p.Deviation > 1 {
+			return fmt.Errorf("edge: scenario %q phase %d deviation %v out of [0,1]", s.Name, i, p.Deviation)
+		}
+		if p.Interval <= 0 {
+			return fmt.Errorf("edge: scenario %q phase %d has non-positive interval", s.Name, i)
+		}
+		prev = p.Start
+	}
+	if s.Phases[0].Start != 0 {
+		return fmt.Errorf("edge: scenario %q must start a phase at t=0", s.Name)
+	}
+	if s.Churn != nil {
+		if err := s.Churn.Validate(s.Devices); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseAt returns the active phase at time t.
+func (s Scenario) phaseAt(t float64) Phase {
+	cur := s.Phases[0]
+	for _, p := range s.Phases {
+		if p.Start <= t {
+			cur = p
+		}
+	}
+	return cur
+}
+
+// Scenario1 is the paper's stable environment: ±30 % deviation redrawn
+// every 5 s.
+func Scenario1() Scenario {
+	return Scenario{
+		Name: "scenario1", Duration: 25, Devices: 20, PerDeviceFPS: 30,
+		Phases: []Phase{{Start: 0, Deviation: 0.30, Interval: 5}},
+	}
+}
+
+// Scenario2 is the unpredictable environment: ±70 % every 500 ms.
+func Scenario2() Scenario {
+	return Scenario{
+		Name: "scenario2", Duration: 25, Devices: 20, PerDeviceFPS: 30,
+		Phases: []Phase{{Start: 0, Deviation: 0.70, Interval: 0.5}},
+	}
+}
+
+// ScenarioChurn extends Scenario 1 with device churn: cameras join and
+// leave the server every 2 s (an extension experiment; the paper motivates
+// it in §I but does not evaluate it).
+func ScenarioChurn() Scenario {
+	s := Scenario1()
+	s.Name = "scenario-churn"
+	s.Churn = &Churn{MinDevices: 8, MaxDevices: 32, MaxStep: 6, Interval: 2}
+	return s
+}
+
+// Scenario12 is the paper's hybrid: stable up to 15 s, then unpredictable.
+func Scenario12() Scenario {
+	return Scenario{
+		Name: "scenario1+2", Duration: 25, Devices: 20, PerDeviceFPS: 30,
+		Phases: []Phase{
+			{Start: 0, Deviation: 0.30, Interval: 5},
+			{Start: 15, Deviation: 0.70, Interval: 0.5},
+		},
+	}
+}
+
+// Workload generates the piecewise-constant incoming rate of a scenario
+// run. Rates are redrawn at phase-interval boundaries (and device counts
+// at churn ticks) with the given RNG.
+type Workload struct {
+	scn       Scenario
+	rng       *rand.Rand
+	rate      float64
+	devices   int
+	churnTick int // churn intervals already applied
+}
+
+// NewWorkload draws the initial rate.
+func NewWorkload(scn Scenario, rng *rand.Rand) (*Workload, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{scn: scn, rng: rng, devices: scn.Devices}
+	w.Redraw(0)
+	return w, nil
+}
+
+// Rate returns the current incoming FPS.
+func (w *Workload) Rate() float64 { return w.rate }
+
+// Devices returns the currently connected device count.
+func (w *Workload) Devices() int { return w.devices }
+
+// Redraw applies any due churn ticks, redraws the rate for the phase
+// active at time t, and returns it.
+func (w *Workload) Redraw(t float64) float64 {
+	if c := w.scn.Churn; c != nil {
+		due := int(t / c.Interval)
+		for ; w.churnTick < due; w.churnTick++ {
+			step := w.rng.Intn(2*c.MaxStep+1) - c.MaxStep
+			w.devices += step
+			if w.devices < c.MinDevices {
+				w.devices = c.MinDevices
+			}
+			if w.devices > c.MaxDevices {
+				w.devices = c.MaxDevices
+			}
+		}
+	}
+	p := w.scn.phaseAt(t)
+	dev := (w.rng.Float64()*2 - 1) * p.Deviation
+	w.rate = float64(w.devices) * w.scn.PerDeviceFPS * (1 + dev)
+	if w.rate < 0 {
+		w.rate = 0
+	}
+	return w.rate
+}
+
+// NextBoundary returns the next redraw time strictly after t.
+func (w *Workload) NextBoundary(t float64) float64 {
+	p := w.scn.phaseAt(t)
+	// Align to the phase's interval grid from its start.
+	n := int((t-p.Start)/p.Interval) + 1
+	next := p.Start + float64(n)*p.Interval
+	// A later phase may begin before the next interval tick.
+	for _, q := range w.scn.Phases {
+		if q.Start > t && q.Start < next {
+			next = q.Start
+		}
+	}
+	// Churn ticks are boundaries too.
+	if c := w.scn.Churn; c != nil {
+		m := int(t/c.Interval) + 1
+		if ct := float64(m) * c.Interval; ct < next {
+			next = ct
+		}
+	}
+	return next
+}

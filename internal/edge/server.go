@@ -1,0 +1,361 @@
+package edge
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/library"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Serving is the server's active configuration: how fast it can process,
+// at what accuracy, and how much power it draws.
+type Serving struct {
+	FPS      float64
+	Accuracy float64
+	// PowerAt returns watts at a given processed frame rate.
+	PowerAt func(processedFPS float64) float64
+	// IdlePower is drawn while stalled (reconfiguring).
+	IdlePower float64
+	Label     string
+}
+
+// Controller reacts to workload observations and configures serving.
+type Controller interface {
+	// React is invoked at t=0 and at every workload change. It returns
+	// the serving configuration, the stall needed to apply it (zero when
+	// unchanged), and whether the change was a model switch and/or an
+	// FPGA reconfiguration.
+	React(now, incomingFPS float64) (s Serving, stall time.Duration, switched, reconfigured bool)
+}
+
+// TracePoint is one accounting step of a run (for the Fig. 6 curves).
+type TracePoint struct {
+	Time         float64
+	IncomingFPS  float64
+	ProcessedFPS float64
+	LossPct      float64 // cumulative frame loss up to this point
+	InstLossPct  float64 // loss within this step
+	QoEPct       float64 // cumulative QoE up to this point
+	Accuracy     float64
+	PowerW       float64
+}
+
+// SwitchEvent records a model/accelerator change (Fig. 6(a) annotations).
+type SwitchEvent struct {
+	Time         float64
+	Label        string
+	Reconfigured bool
+}
+
+// Result of one simulated run.
+type Result struct {
+	metrics.RunStats
+	Trace    []TracePoint
+	Switches []SwitchEvent
+}
+
+// SimConfig tunes the run mechanics.
+type SimConfig struct {
+	// Step is the accounting step (default 10 ms).
+	Step float64
+	// QueueFrames is the server's frame buffer (default 128).
+	QueueFrames float64
+	// Seed drives the workload RNG.
+	Seed int64
+	// RecordTrace keeps per-step curves (off for bulk averaging).
+	RecordTrace bool
+	// PoissonArrivals makes RunEventLevel draw exponential inter-arrival
+	// gaps instead of deterministic spacing (burstier traffic). The fluid
+	// Run ignores it.
+	PoissonArrivals bool
+	// ThresholdChanges schedules user accuracy-threshold updates during
+	// the run (delivered to controllers implementing ThresholdSetter).
+	ThresholdChanges []ThresholdChange
+}
+
+// ThresholdChange is one scheduled user update of the accuracy threshold.
+type ThresholdChange struct {
+	Time      float64
+	Threshold float64
+}
+
+// ThresholdSetter is implemented by controllers whose accuracy threshold
+// can change at run time (the AdaFlow controller delegates to its Runtime
+// Manager).
+type ThresholdSetter interface {
+	SetAccuracyThreshold(threshold float64) error
+}
+
+func (c *SimConfig) defaults() {
+	if c.Step == 0 {
+		c.Step = 0.01
+	}
+	if c.QueueFrames == 0 {
+		// A short buffer (≈27 ms at the nominal 600 FPS): the paper's
+		// servers drop frames they cannot serve promptly, so bursts above
+		// capacity translate into loss rather than deep queueing.
+		c.QueueFrames = 16
+	}
+}
+
+// Run simulates one scenario run with the given controller.
+func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
+	cfg.defaults()
+	if ctl == nil {
+		return nil, fmt.Errorf("edge: nil controller")
+	}
+	rng := sim.RNG(cfg.Seed, "workload/"+scn.Name)
+	wl, err := NewWorkload(scn, rng)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+
+	var acc metrics.Accumulator
+	res := &Result{}
+	var queue float64
+	var stallUntil float64
+	serving, _, _, _ := ctl.React(0, wl.Rate()) // initial load is free for every controller
+	if serving.PowerAt == nil {
+		return nil, fmt.Errorf("edge: controller returned no power model")
+	}
+
+	react := func(now float64) {
+		s, stall, switched, reconf := ctl.React(now, wl.Rate())
+		if switched || reconf {
+			if stall > 0 {
+				until := now + stall.Seconds()
+				if until > stallUntil {
+					stallUntil = until
+				}
+			}
+			res.Switches = append(res.Switches, SwitchEvent{Time: now, Label: s.Label, Reconfigured: reconf})
+			if switched {
+				acc.Switches++
+			}
+			if reconf {
+				acc.Reconfigs++
+			}
+		}
+		serving = s
+	}
+
+	// Scheduled user threshold changes (the paper: the manager acts on
+	// threshold changes too).
+	for _, tc := range cfg.ThresholdChanges {
+		tc := tc
+		if tc.Time <= 0 || tc.Time >= scn.Duration {
+			return nil, fmt.Errorf("edge: threshold change at %v outside run", tc.Time)
+		}
+		ts, ok := ctl.(ThresholdSetter)
+		if !ok {
+			return nil, fmt.Errorf("edge: controller %T cannot change thresholds", ctl)
+		}
+		if err := eng.Schedule(tc.Time, func() {
+			if err := ts.SetAccuracyThreshold(tc.Threshold); err == nil {
+				react(eng.Now())
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Workload redraw events.
+	var scheduleRedraw func(t float64)
+	scheduleRedraw = func(t float64) {
+		next := wl.NextBoundary(t)
+		if next >= scn.Duration {
+			return
+		}
+		if err := eng.Schedule(next, func() {
+			wl.Redraw(eng.Now())
+			react(eng.Now())
+			scheduleRedraw(eng.Now())
+		}); err != nil {
+			panic(err) // scheduling forward in time cannot fail
+		}
+	}
+	scheduleRedraw(0)
+
+	// Accounting steps.
+	steps := int(scn.Duration/cfg.Step + 0.5)
+	for i := 1; i <= steps; i++ {
+		t := float64(i) * cfg.Step
+		if err := eng.Schedule(t, func() {
+			now := eng.Now()
+			dt := cfg.Step
+			arrived := wl.Rate() * dt
+
+			// Fraction of this step the server is stalled.
+			stalled := 0.0
+			if stallUntil > now-dt {
+				end := stallUntil
+				if end > now {
+					end = now
+				}
+				stalled = (end - (now - dt)) / dt
+				if stalled < 0 {
+					stalled = 0
+				}
+			}
+			avail := 1 - stalled
+			capacity := serving.FPS * dt * avail
+
+			queue += arrived
+			processed := capacity
+			if processed > queue {
+				processed = queue
+			}
+			queue -= processed
+			dropped := 0.0
+			if queue > cfg.QueueFrames {
+				dropped = queue - cfg.QueueFrames
+				queue = cfg.QueueFrames
+			}
+
+			procFPS := processed / dt
+			power := serving.PowerAt(procFPS)*avail + serving.IdlePower*stalled
+			acc.Add(arrived, processed, dropped, serving.Accuracy, power*dt, dt)
+			acc.AddQueue(queue, dt)
+
+			if cfg.RecordTrace {
+				snap := acc.Finalize()
+				inst := 0.0
+				if arrived > 0 {
+					inst = 100 * dropped / arrived
+				}
+				res.Trace = append(res.Trace, TracePoint{
+					Time:         now,
+					IncomingFPS:  wl.Rate(),
+					ProcessedFPS: procFPS,
+					LossPct:      snap.FrameLossPct,
+					InstLossPct:  inst,
+					QoEPct:       snap.QoEPct,
+					Accuracy:     serving.Accuracy,
+					PowerW:       power,
+				})
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	eng.Run(scn.Duration + 1)
+	res.RunStats = acc.Finalize()
+	return res, nil
+}
+
+// RunRepeated averages n runs with seeds seed, seed+1, … and returns the
+// mean stats plus the individual runs.
+func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64, cfg SimConfig) (metrics.RunStats, []metrics.RunStats, error) {
+	if n <= 0 {
+		return metrics.RunStats{}, nil, fmt.Errorf("edge: non-positive run count %d", n)
+	}
+	runs := make([]metrics.RunStats, 0, n)
+	for i := 0; i < n; i++ {
+		ctl, err := mk()
+		if err != nil {
+			return metrics.RunStats{}, nil, err
+		}
+		c := cfg
+		c.Seed = seed + int64(i)
+		c.RecordTrace = false
+		r, err := Run(scn, ctl, c)
+		if err != nil {
+			return metrics.RunStats{}, nil, err
+		}
+		runs = append(runs, r.RunStats)
+	}
+	mean, err := metrics.Mean(runs)
+	return mean, runs, err
+}
+
+// StaticController serves one fixed accelerator forever — the paper's
+// "Original FINN" baseline.
+type StaticController struct {
+	S Serving
+}
+
+// NewStaticFINN builds the baseline controller from a library's unpruned
+// entry.
+func NewStaticFINN(lib *library.Library) *StaticController {
+	e := lib.Entries[0]
+	return &StaticController{S: Serving{
+		FPS:       e.FixedFPS,
+		Accuracy:  e.Accuracy,
+		PowerAt:   e.Fixed.PowerAt,
+		IdlePower: e.Fixed.IdlePower(),
+		Label:     "FINN " + lib.ModelName,
+	}}
+}
+
+// React implements Controller.
+func (c *StaticController) React(now, incomingFPS float64) (Serving, time.Duration, bool, bool) {
+	return c.S, 0, false, false
+}
+
+// AdaFlowController drives serving with the Runtime Manager.
+type AdaFlowController struct {
+	mgr *manager.Manager
+}
+
+// NewAdaFlow wraps a manager.
+func NewAdaFlow(mgr *manager.Manager) *AdaFlowController {
+	return &AdaFlowController{mgr: mgr}
+}
+
+// SetAccuracyThreshold implements ThresholdSetter by delegating to the
+// Runtime Manager.
+func (c *AdaFlowController) SetAccuracyThreshold(threshold float64) error {
+	return c.mgr.SetAccuracyThreshold(threshold)
+}
+
+// React implements Controller.
+func (c *AdaFlowController) React(now, incomingFPS float64) (Serving, time.Duration, bool, bool) {
+	prev, had := c.mgr.Current()
+	d, changed := c.mgr.Decide(now, incomingFPS)
+	lib := c.mgr.Library()
+	e := lib.Entries[d.Entry]
+	s := Serving{Accuracy: e.Accuracy}
+	if d.Kind == manager.Flexible {
+		s.FPS = e.FlexFPS
+		s.PowerAt = powerAtChannels(lib, e)
+		s.IdlePower = lib.Flexible.IdlePower()
+		s.Label = fmt.Sprintf("flex p=%.0f%%", e.NominalRate*100)
+	} else {
+		s.FPS = e.FixedFPS
+		s.PowerAt = e.Fixed.PowerAt
+		s.IdlePower = e.Fixed.IdlePower()
+		s.Label = fmt.Sprintf("fixed p=%.0f%%", e.NominalRate*100)
+	}
+	if !changed {
+		return s, 0, false, false
+	}
+	switched := !had || prev.Entry != d.Entry
+	return s, d.SwitchCost, switched, d.Reconfigured
+}
+
+// powerAtChannels returns a power model for the flexible accelerator
+// configured to an entry's channels. The flexible accelerator's energy per
+// inference depends on the loaded model's MACs; we reconfigure a cloned
+// channel setting around each query.
+func powerAtChannels(lib *library.Library, e library.Entry) func(float64) float64 {
+	flex := lib.Flexible
+	return func(fps float64) float64 {
+		df := flex.Dataflow
+		old := append([]int(nil), df.CurChannels...)
+		if err := df.SetChannels(e.Channels); err != nil {
+			// Constraint-checked at library generation; keep serving with
+			// the worst-case energy rather than failing mid-simulation.
+			return flex.PowerAt(fps)
+		}
+		p := flex.PowerAt(fps)
+		if err := df.SetChannels(old); err != nil {
+			return p
+		}
+		return p
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationSwitchCriteria(t *testing.T) {
+	r, err := AblationSwitchCriteria([]float64{1, 10, 100}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Very large multiples never allow Fixed: everything runs flexible, so
+	// reconfigurations stay minimal but power is higher than at 10x.
+	lo, hi := r.Rows[0], r.Rows[2]
+	if hi.Reconfigs > lo.Reconfigs {
+		t.Fatalf("100x multiple reconfigured more (%d) than 1x (%d)", hi.Reconfigs, lo.Reconfigs)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	if _, err := AblationSwitchCriteria(nil, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestAblationThresholdMonotoneLoss(t *testing.T) {
+	r, err := AblationThreshold([]float64{0.02, 0.10, 0.30}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger thresholds allow deeper pruning: loss must not increase, and
+	// served accuracy must not increase.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].FrameLossPct > r.Rows[i-1].FrameLossPct+1.0 {
+			t.Fatalf("loss increased with threshold: %+v", r.Rows)
+		}
+		if r.Rows[i].AvgAccuracy > r.Rows[i-1].AvgAccuracy+1e-6 {
+			t.Fatalf("accuracy increased with threshold: %+v", r.Rows)
+		}
+	}
+	if r.Rows[2].PowerEff < r.Rows[0].PowerEff {
+		t.Fatal("larger threshold should not reduce efficiency")
+	}
+}
+
+func TestAblationPolicy(t *testing.T) {
+	r, err := AblationPolicy(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	thr, en := r.Rows[0], r.Rows[1]
+	if en.AvgAccuracy > thr.AvgAccuracy {
+		t.Fatal("energy policy served higher accuracy than throughput policy")
+	}
+	if en.PowerEff < thr.PowerEff {
+		t.Fatalf("energy policy less efficient: %.1f vs %.1f inf/J", en.PowerEff, thr.PowerEff)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	if _, err := AblationPolicy(0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestAblationQueue(t *testing.T) {
+	r, err := AblationQueue([]float64{4, 64, 256}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Deeper buffers: loss never increases, queueing delay never shrinks.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].FINNLossPct > r.Rows[i-1].FINNLossPct+0.5 {
+			t.Fatalf("FINN loss increased with buffer: %+v", r.Rows)
+		}
+		if r.Rows[i].AdaLatencyMS < r.Rows[i-1].AdaLatencyMS-1 {
+			t.Fatalf("latency shrank with buffer: %+v", r.Rows)
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	if _, err := AblationQueue(nil, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestAblationConstraintRelax(t *testing.T) {
+	r, err := AblationConstraintRelax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AwareViolates != 0 {
+		t.Fatalf("dataflow-aware pruning produced %d invalid versions", r.AwareViolates)
+	}
+	if r.FreeViolates < r.Total/2 {
+		t.Fatalf("free pruning violated only %d/%d — constraints look vacuous", r.FreeViolates, r.Total)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

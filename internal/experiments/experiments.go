@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V–VI) from this repository's substrates. Each Fig*/Table*
+// function returns a structured result with a WriteText renderer; the
+// bench harness (bench_test.go) and cmd/adaflow-repro both call these.
+//
+// Absolute numbers come from the calibrated simulation substrates (see
+// DESIGN.md); what is expected to match the paper is the *shape*: who
+// wins, by roughly what factor, and where the crossovers fall. Paper
+// reference values are embedded in the results for side-by-side printing.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/accuracy"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// Pair is one dataset/CNN combination of the paper's methodology.
+type Pair struct {
+	ModelName string
+	Dataset   string
+	Classes   int
+}
+
+// Pairs are the paper's four evaluation combinations.
+var Pairs = []Pair{
+	{"CNVW2A2", "cifar10", 10},
+	{"CNVW2A2", "gtsrb", 43},
+	{"CNVW1A2", "cifar10", 10},
+	{"CNVW1A2", "gtsrb", 43},
+}
+
+// String renders "dataset/model" like the paper's Table I rows.
+func (p Pair) String() string { return p.Dataset + "/" + p.ModelName }
+
+// build constructs the initial model for a pair.
+func (p Pair) build() (*model.Model, error) {
+	switch p.ModelName {
+	case "CNVW2A2":
+		return model.CNVW2A2(p.Dataset, p.Classes, 1)
+	case "CNVW1A2":
+		return model.CNVW1A2(p.Dataset, p.Classes, 1)
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %q", p.ModelName)
+	}
+}
+
+var (
+	libMu    sync.Mutex
+	libCache = map[string]*library.Library{}
+)
+
+// Lib returns (and caches) the generated AdaFlow library for a pair. The
+// cache exists because every experiment starts from the same design-time
+// artifact, exactly as in the paper's flow.
+func Lib(p Pair) (*library.Library, error) {
+	libMu.Lock()
+	defer libMu.Unlock()
+	if l, ok := libCache[p.String()]; ok {
+		return l, nil
+	}
+	m, err := p.build()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := accuracy.NewCalibrated(p.ModelName, p.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	if err != nil {
+		return nil, err
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	libCache[p.String()] = lib
+	return lib, nil
+}

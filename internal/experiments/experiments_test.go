@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLibCacheAndPairs(t *testing.T) {
+	for _, p := range Pairs {
+		lib, err := Lib(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		again, err := Lib(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lib != again {
+			t.Fatalf("%s: library not cached", p)
+		}
+	}
+	if _, err := (Pair{ModelName: "alien", Dataset: "x"}).build(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	r, err := Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 18 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Accuracy non-increasing, FPS non-decreasing (the paper's Fig. 1(a)
+	// trade-off shape).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Accuracy > r.Points[i-1].Accuracy+1e-9 {
+			t.Fatal("accuracy increased with pruning")
+		}
+		if r.Points[i].FPS < r.Points[i-1].FPS-1e-9 {
+			t.Fatal("FPS decreased with pruning")
+		}
+	}
+	if r.Points[17].FPS < 4*r.Points[0].FPS {
+		t.Fatalf("85%% pruning speedup too small: %v vs %v", r.Points[17].FPS, r.Points[0].FPS)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "Figure 1(a)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	r, err := Fig1b(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	byLabel := map[string]float64{}
+	for _, s := range r.Series {
+		byLabel[s.Label] = s.FrameLossPct
+	}
+	noPrune := byLabel["No Pruning"]
+	ideal := byLabel["Pruning Reconf. 0ms"]
+	slow := byLabel["Pruning Reconf. 362ms"]
+	if ideal >= noPrune {
+		t.Fatalf("ideal switching (%.1f%%) not better than no pruning (%.1f%%)", ideal, noPrune)
+	}
+	if slow <= noPrune {
+		t.Fatalf("slow reconfiguration (%.1f%%) should be worse than no pruning (%.1f%%)", slow, noPrune)
+	}
+	// Loss is monotone in reconfiguration time.
+	prev := -1.0
+	for _, ms := range Fig1bReconfigTimesMS {
+		l := byLabel[labelFor(ms)]
+		if l < prev-1e-9 {
+			t.Fatalf("loss not monotone at %gms", ms)
+		}
+		prev = l
+	}
+	if _, err := Fig1b(0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func labelFor(ms float64) string {
+	return "Pruning Reconf. " + strconv.FormatFloat(ms, 'g', -1, 64) + "ms"
+}
+
+func TestFig5aShape(t *testing.T) {
+	r, err := Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeasuredFlexLUTRatio < 1.75 || r.MeasuredFlexLUTRatio > 2.05 {
+		t.Fatalf("flexible LUT ratio %.2f", r.MeasuredFlexLUTRatio)
+	}
+	if !r.FlexibleBRAMNoIncrease {
+		t.Fatal("flexible BRAM increased")
+	}
+	if r.MeasuredFixedRed85Pct < 0.35 || r.MeasuredFixedRed85Pct > 0.55 {
+		t.Fatalf("85%% LUT reduction %.3f", r.MeasuredFixedRed85Pct)
+	}
+	if len(r.Rows) != 2+17 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestFig5bcShape(t *testing.T) {
+	for _, ds := range []string{"cifar10", "gtsrb"} {
+		r, err := Fig5bc(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MeasuredFixedRed25 <= r.MeasuredFlexRed25 {
+			t.Fatalf("%s: fixed (%.2f) must beat flexible (%.2f)", ds, r.MeasuredFixedRed25, r.MeasuredFlexRed25)
+		}
+		if r.MeasuredFlexRed25 < 1.1 {
+			t.Fatalf("%s: flexible reduction %.2f too small", ds, r.MeasuredFlexRed25)
+		}
+		// Energy decreases monotonically with pruning on both families.
+		for i := 1; i < len(r.Points); i++ {
+			if r.Points[i].FixedEnergyJ > r.Points[i-1].FixedEnergyJ+1e-12 {
+				t.Fatalf("%s: fixed energy not monotone", ds)
+			}
+		}
+	}
+	if _, err := Fig5bc("imagenet"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var effSum float64
+	for _, row := range r.Rows {
+		if row.AdaFlow.FrameLossPct >= row.FINN.FrameLossPct {
+			t.Errorf("%s/%s: AdaFlow loss %.1f ≥ FINN %.1f",
+				row.Pair, row.Scenario, row.AdaFlow.FrameLossPct, row.FINN.FrameLossPct)
+		}
+		// The paper's weakest row (CIFAR-10/CNVW1A2 scenario 2) sits at
+		// 1.01x — near parity; allow small noise below 1 there.
+		if row.PowerEffRatio < 0.9 {
+			t.Errorf("%s/%s: power efficiency ratio %.2f far below parity", row.Pair, row.Scenario, row.PowerEffRatio)
+		}
+		effSum += row.PowerEffRatio
+	}
+	// Paper: 1.27x average efficiency, 1.3x more inferences.
+	avg := effSum / float64(len(r.Rows))
+	if avg < 1.05 || avg > 1.8 {
+		t.Fatalf("average efficiency ratio %.2f out of plausible band around 1.27", avg)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("render missing title")
+	}
+	if _, err := Table1(0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	var adaS12 *Fig6Series
+	for i := range r.Series {
+		s := &r.Series[i]
+		if s.Label == "AdaFlow" && s.Scenario == "scenario1+2" {
+			adaS12 = s
+		}
+		if len(s.Trace) == 0 {
+			t.Fatalf("%s/%s: empty trace", s.Label, s.Scenario)
+		}
+	}
+	if adaS12 == nil {
+		t.Fatal("missing AdaFlow scenario1+2")
+	}
+	// The paper's behaviour: a change of dataflow around the 15 s phase
+	// shift — at least one reconfigured switch before 15 s (fixed phase)
+	// and fast switches after.
+	var fastAfter, reconfAfter int
+	for _, ev := range adaS12.Switches {
+		if ev.Time > 15.5 {
+			if ev.Reconfigured {
+				reconfAfter++
+			} else {
+				fastAfter++
+			}
+		}
+	}
+	if fastAfter < 2 {
+		t.Fatalf("only %d fast switches after the phase shift", fastAfter)
+	}
+	if reconfAfter > 2 {
+		t.Fatalf("%d reconfigurations after the phase shift; flexible not adopted", reconfAfter)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "switch timeline") {
+		t.Fatal("render missing timeline")
+	}
+}

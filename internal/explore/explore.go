@@ -1,0 +1,242 @@
+// Package explore searches the PE/SIMD folding design space of a dataflow
+// accelerator — the role of FINN's folding-configuration step. Starting
+// from a minimal (fully folded) configuration it greedily unfolds the
+// current bottleneck layer, one legal divisor step at a time, until a
+// throughput target is met or a resource budget is exhausted. The search
+// is exact with respect to the cycle and resource models in internal/finn
+// and internal/synth.
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/finn"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+// Result is one explored design point.
+type Result struct {
+	Folding    finn.Folding
+	FPS        float64
+	Res        synth.Resources
+	Iterations int
+	// Bottleneck names the module limiting throughput at the end.
+	Bottleneck string
+}
+
+// Options tune the search.
+type Options struct {
+	// Device defaults to synth.ZCU104.
+	Device *synth.Device
+	// ClockHz defaults to finn.DefaultClockHz.
+	ClockHz float64
+	// MaxIterations bounds the greedy loop (default 256).
+	MaxIterations int
+	// Flexible explores the runtime-controllable variant (worst-case
+	// sizing, higher resource cost).
+	Flexible bool
+}
+
+func (o *Options) defaults() (synth.Device, int) {
+	dev := synth.ZCU104
+	if o.Device != nil {
+		dev = *o.Device
+	}
+	it := o.MaxIterations
+	if it == 0 {
+		it = 256
+	}
+	return dev, it
+}
+
+// MinimalFolding returns the fully-folded configuration: PE=1 everywhere
+// and the smallest legal SIMD (kernel-column granularity for convs, 1 for
+// dense layers).
+func MinimalFolding(m *model.Model) finn.Folding {
+	convs := m.Net.Convs()
+	denses := m.Net.Denses()
+	f := finn.Folding{
+		ConvPE:    make([]int, len(convs)),
+		ConvSIMD:  make([]int, len(convs)),
+		DensePE:   make([]int, len(denses)),
+		DenseSIMD: make([]int, len(denses)),
+	}
+	for i := range convs {
+		f.ConvPE[i] = 1
+		f.ConvSIMD[i] = 1
+	}
+	for i := range denses {
+		f.DensePE[i] = 1
+		f.DenseSIMD[i] = 1
+	}
+	return f
+}
+
+// evaluate maps and synthesizes one candidate.
+func evaluate(m *model.Model, f finn.Folding, opts Options, dev synth.Device) (*finn.Dataflow, *synth.Accelerator, error) {
+	df, err := finn.Map(m, f, finn.Options{Flexible: opts.Flexible, ClockHz: opts.ClockHz})
+	if err != nil {
+		return nil, nil, err
+	}
+	acc, err := synth.Synthesize(df, dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	return df, acc, nil
+}
+
+// bottleneckModule returns the slowest compute module of the dataflow.
+func bottleneckModule(df *finn.Dataflow) *finn.Module {
+	var worst *finn.Module
+	var cycles int64 = -1
+	for _, mod := range df.Modules {
+		if c := mod.CyclesPerFrame(); c > cycles {
+			cycles, worst = c, mod
+		}
+	}
+	return worst
+}
+
+// nextDivisor returns the smallest divisor of n strictly greater than cur,
+// or 0 when cur is already n.
+func nextDivisor(n, cur int) int {
+	for d := cur + 1; d <= n; d++ {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// layerIndex parses the module name produced by finn.Map ("mvtu3", "fc1",
+// "swu2") into layer kind and index.
+func layerIndex(name string) (conv bool, idx int, ok bool) {
+	switch {
+	case strings.HasPrefix(name, "mvtu"):
+		i, err := strconv.Atoi(name[4:])
+		return true, i, err == nil
+	case strings.HasPrefix(name, "swu"):
+		i, err := strconv.Atoi(name[3:])
+		return true, i, err == nil
+	case strings.HasPrefix(name, "fc"):
+		i, err := strconv.Atoi(name[2:])
+		return false, i, err == nil
+	default:
+		return false, 0, false
+	}
+}
+
+// unfoldStep returns a copy of f with the bottleneck layer's cheaper axis
+// advanced one divisor step, or ok=false when the layer is fully unfolded.
+func unfoldStep(m *model.Model, f finn.Folding, bott *finn.Module) (finn.Folding, bool) {
+	conv, idx, ok := layerIndex(bott.Name)
+	if !ok {
+		return f, false
+	}
+	nf := f.Clone()
+	if conv {
+		c := m.Net.Convs()[idx]
+		k2 := c.Geom.KH * c.Geom.KW
+		// Two axes: SIMD over K²·InC and PE over OutC. Advance the one
+		// with the smaller relative jump; fall back to the other.
+		ns := nextDivisor(k2*c.Geom.InC, f.ConvSIMD[idx])
+		np := nextDivisor(c.OutC, f.ConvPE[idx])
+		switch {
+		case ns == 0 && np == 0:
+			return f, false
+		case np == 0,
+			ns != 0 && float64(ns)/float64(f.ConvSIMD[idx]) <= float64(np)/float64(f.ConvPE[idx]):
+			nf.ConvSIMD[idx] = ns
+		default:
+			nf.ConvPE[idx] = np
+		}
+		return nf, true
+	}
+	d := m.Net.Denses()[idx]
+	ns := nextDivisor(d.In, f.DenseSIMD[idx])
+	np := nextDivisor(d.Out, f.DensePE[idx])
+	switch {
+	case ns == 0 && np == 0:
+		return f, false
+	case np == 0,
+		ns != 0 && float64(ns)/float64(f.DenseSIMD[idx]) <= float64(np)/float64(f.DensePE[idx]):
+		nf.DenseSIMD[idx] = ns
+	default:
+		nf.DensePE[idx] = np
+	}
+	return nf, true
+}
+
+// TargetFPS unfolds until the dataflow reaches the target throughput (or
+// the design no longer fits the device / cannot unfold further, in which
+// case the best reached point is returned along with an error).
+func TargetFPS(m *model.Model, target float64, opts Options) (*Result, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("explore: non-positive FPS target %v", target)
+	}
+	dev, maxIt := opts.defaults()
+	f := MinimalFolding(m)
+	df, acc, err := evaluate(m, f, opts, dev)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Folding: f, FPS: df.FPS(), Res: acc.Res, Bottleneck: bottleneckModule(df).Name}
+	for it := 0; it < maxIt && res.FPS < target; it++ {
+		nf, ok := unfoldStep(m, res.Folding, bottleneckModule(df))
+		if !ok {
+			return res, fmt.Errorf("explore: fully unfolded at %.1f FPS, target %.1f unreachable", res.FPS, target)
+		}
+		ndf, nacc, err := evaluate(m, nf, opts, dev)
+		if err != nil {
+			return res, fmt.Errorf("explore: stopped at %.1f FPS: %w", res.FPS, err)
+		}
+		df = ndf
+		res.Folding = nf
+		res.FPS = ndf.FPS()
+		res.Res = nacc.Res
+		res.Iterations = it + 1
+		res.Bottleneck = bottleneckModule(ndf).Name
+	}
+	if res.FPS < target {
+		return res, fmt.Errorf("explore: iteration budget exhausted at %.1f FPS, target %.1f", res.FPS, target)
+	}
+	return res, nil
+}
+
+// MaxFPSWithin unfolds greedily while the design stays within the given
+// LUT budget (and the device), returning the fastest point found.
+func MaxFPSWithin(m *model.Model, lutBudget int, opts Options) (*Result, error) {
+	if lutBudget <= 0 {
+		return nil, fmt.Errorf("explore: non-positive LUT budget %d", lutBudget)
+	}
+	dev, maxIt := opts.defaults()
+	f := MinimalFolding(m)
+	df, acc, err := evaluate(m, f, opts, dev)
+	if err != nil {
+		return nil, err
+	}
+	if acc.Res.LUT > lutBudget {
+		return nil, fmt.Errorf("explore: minimal folding already needs %d LUTs, budget %d", acc.Res.LUT, lutBudget)
+	}
+	res := &Result{Folding: f, FPS: df.FPS(), Res: acc.Res, Bottleneck: bottleneckModule(df).Name}
+	for it := 0; it < maxIt; it++ {
+		nf, ok := unfoldStep(m, res.Folding, bottleneckModule(df))
+		if !ok {
+			break
+		}
+		ndf, nacc, err := evaluate(m, nf, opts, dev)
+		if err != nil || nacc.Res.LUT > lutBudget {
+			break
+		}
+		df = ndf
+		res.Folding = nf
+		res.FPS = ndf.FPS()
+		res.Res = nacc.Res
+		res.Iterations = it + 1
+		res.Bottleneck = bottleneckModule(ndf).Name
+	}
+	return res, nil
+}

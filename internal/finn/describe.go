@@ -1,0 +1,38 @@
+package finn
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe prints a Fig. 2-style map of the dataflow: every module in
+// stream order with its folding, current/synthesis channels, cycles per
+// frame, and share of the initiation interval. FIFOs are summarized.
+func (d *Dataflow) Describe(w io.Writer) {
+	ii := d.IICycles()
+	fmt.Fprintf(w, "dataflow %s (%s, %.0f MHz)\n", d.Name, kindName(d.Flexible), d.ClockHz/1e6)
+	fmt.Fprintf(w, "channels: current %v / worst-case %v\n", d.CurChannels, d.WorstChannels)
+	fmt.Fprintf(w, "II %d cycles → %.1f FPS; latency %d cycles (%.2f ms)\n",
+		ii, d.FPS(), d.LatencyCycles(), d.LatencySeconds()*1e3)
+	fmt.Fprintf(w, "%-12s %-12s %-11s %-6s %-6s %-12s %-8s\n",
+		"module", "kind", "in→out ch", "PE", "SIMD", "cycles", "II share")
+	fifos := 0
+	for _, m := range d.Modules {
+		if m.Kind == KindFIFO {
+			fifos++
+			continue
+		}
+		c := m.CyclesPerFrame()
+		share := 0.0
+		if ii > 0 {
+			share = float64(c) / float64(ii)
+		}
+		marker := ""
+		if c == ii {
+			marker = " ←bottleneck"
+		}
+		fmt.Fprintf(w, "%-12s %-12s %4d→%-6d %-6d %-6d %-12d %6.1f%%%s\n",
+			m.Name, m.Kind, m.CurInC, m.CurOutC, m.PE, m.SIMD, c, share*100, marker)
+	}
+	fmt.Fprintf(w, "(+%d stream FIFOs)\n", fifos)
+}

@@ -1,0 +1,76 @@
+package finn
+
+import "fmt"
+
+// FIFO sizing. FINN inserts stream FIFOs between stages and sizes them by
+// characterization so rate-mismatched neighbours never deadlock or stall
+// the pipeline's steady state. The model here captures the first-order
+// requirement: a producer that is R× faster than its consumer builds up a
+// backlog proportional to R within one consumer frame, bounded by the
+// producer's per-frame output volume.
+const (
+	minFIFODepth = 2
+	maxFIFODepth = 4096
+)
+
+// SizeFIFOs recomputes every FIFO's depth from the rate mismatch of its
+// neighbouring compute stages (the FIFO depth lives in the module's PE
+// field, which doubles as depth for KindFIFO). It returns the per-FIFO
+// depths in pipeline order.
+func (d *Dataflow) SizeFIFOs() ([]int, error) {
+	// Collect compute stages (non-FIFO) in order with their cycle counts.
+	type stageRef struct {
+		idx    int
+		cycles int64
+	}
+	var stages []stageRef
+	for i, m := range d.Modules {
+		if m.Kind != KindFIFO {
+			stages = append(stages, stageRef{i, m.CyclesPerFrame()})
+		}
+	}
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("finn: %s has fewer than two compute stages", d.Name)
+	}
+	var depths []int
+	// Each FIFO sits after some compute stage; find its neighbours.
+	for i, m := range d.Modules {
+		if m.Kind != KindFIFO {
+			continue
+		}
+		var prev, next *stageRef
+		for s := range stages {
+			if stages[s].idx < i {
+				prev = &stages[s]
+			}
+			if stages[s].idx > i && next == nil {
+				next = &stages[s]
+			}
+		}
+		depth := minFIFODepth
+		if prev != nil && next != nil && prev.cycles > 0 {
+			// Producer finishes a frame in prev.cycles; consumer needs
+			// next.cycles. A faster producer piles up ratio-many partial
+			// frames of slack.
+			ratio := float64(next.cycles) / float64(prev.cycles)
+			if ratio > 1 {
+				// Words buffered ≈ (ratio-1) · producer output per frame,
+				// capped: FINN characterization would refine this.
+				out := int64(m.SynOutC)
+				if m.OutH*m.OutW > 0 {
+					out *= int64(m.OutH * m.OutW)
+				}
+				need := int64((ratio - 1) * float64(out) / 8)
+				if need > int64(depth) {
+					depth = int(need)
+				}
+			}
+		}
+		if depth > maxFIFODepth {
+			depth = maxFIFODepth
+		}
+		m.PE = depth
+		depths = append(depths, depth)
+	}
+	return depths, nil
+}

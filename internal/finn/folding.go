@@ -1,0 +1,167 @@
+package finn
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Folding assigns PE/SIMD parallelism to every compute layer of a model:
+// one entry per convolution and one per dense layer, in network order.
+// SIMD for convolutions counts lanes along the K²·InC matrix axis (FINN's
+// convention), so a SIMD of 9·s folds s channels of a 3×3 kernel per cycle.
+type Folding struct {
+	ConvPE    []int
+	ConvSIMD  []int
+	DensePE   []int
+	DenseSIMD []int
+}
+
+// DefaultFolding derives a legal folding for a model, aiming at the
+// capacity calibration described in DESIGN.md: kernel-parallel SIMD with a
+// two-channel fold and PE=8 where divisibility allows, which puts the
+// paper-scale CNV at ≈500 FPS at 100 MHz — the same workload-to-capacity
+// ratio as the paper's ZCU104 baseline.
+func DefaultFolding(m *model.Model) Folding {
+	convs := m.Net.Convs()
+	denses := m.Net.Denses()
+	f := Folding{
+		ConvPE:    make([]int, len(convs)),
+		ConvSIMD:  make([]int, len(convs)),
+		DensePE:   make([]int, len(denses)),
+		DenseSIMD: make([]int, len(denses)),
+	}
+	for i, c := range convs {
+		k2 := c.Geom.KH * c.Geom.KW
+		f.ConvPE[i] = largestDivisorAtMost(c.OutC, 8)
+		// Prefer folding whole kernel columns: SIMD = K² · s with s ≤ 2.
+		s := largestDivisorAtMost(c.Geom.InC, 2)
+		f.ConvSIMD[i] = k2 * s
+	}
+	for i, d := range denses {
+		f.DensePE[i] = largestDivisorAtMost(d.Out, 8)
+		f.DenseSIMD[i] = largestDivisorAtMost(d.In, 8)
+	}
+	return f
+}
+
+// largestDivisorAtMost returns the largest divisor of n not exceeding cap
+// (at least 1).
+func largestDivisorAtMost(n, cap int) int {
+	if cap > n {
+		cap = n
+	}
+	for d := cap; d > 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// Validate checks the folding against a model's layer shapes.
+func (f Folding) Validate(m *model.Model) error {
+	convs := m.Net.Convs()
+	denses := m.Net.Denses()
+	if len(f.ConvPE) != len(convs) || len(f.ConvSIMD) != len(convs) {
+		return fmt.Errorf("finn: folding has %d/%d conv entries for %d convolutions",
+			len(f.ConvPE), len(f.ConvSIMD), len(convs))
+	}
+	if len(f.DensePE) != len(denses) || len(f.DenseSIMD) != len(denses) {
+		return fmt.Errorf("finn: folding has %d/%d dense entries for %d dense layers",
+			len(f.DensePE), len(f.DenseSIMD), len(denses))
+	}
+	for i, c := range convs {
+		k2 := c.Geom.KH * c.Geom.KW
+		if f.ConvPE[i] <= 0 || c.OutC%f.ConvPE[i] != 0 {
+			return fmt.Errorf("finn: conv %d: PE %d does not divide OutC %d", i, f.ConvPE[i], c.OutC)
+		}
+		if f.ConvSIMD[i] <= 0 || (k2*c.Geom.InC)%f.ConvSIMD[i] != 0 {
+			return fmt.Errorf("finn: conv %d: SIMD %d does not divide K²·InC %d", i, f.ConvSIMD[i], k2*c.Geom.InC)
+		}
+	}
+	for i, d := range denses {
+		if f.DensePE[i] <= 0 || d.Out%f.DensePE[i] != 0 {
+			return fmt.Errorf("finn: dense %d: PE %d does not divide Out %d", i, f.DensePE[i], d.Out)
+		}
+		if f.DenseSIMD[i] <= 0 || d.In%f.DenseSIMD[i] != 0 {
+			return fmt.Errorf("finn: dense %d: SIMD %d does not divide In %d", i, f.DenseSIMD[i], d.In)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the folding.
+func (f Folding) Clone() Folding {
+	return Folding{
+		ConvPE:    append([]int(nil), f.ConvPE...),
+		ConvSIMD:  append([]int(nil), f.ConvSIMD...),
+		DensePE:   append([]int(nil), f.DensePE...),
+		DenseSIMD: append([]int(nil), f.DenseSIMD...),
+	}
+}
+
+// ChannelGranularity returns, per convolution, the channel-count step g_i
+// that pruned out-channel counts must be a multiple of:
+//
+//   - PE_i must divide ch′ (this layer's MVTU),
+//   - SIMD_{i+1} must divide K²·ch′ (the next SWU/MVTU), and
+//   - the first dense layer's SIMD must divide footprint·ch′ when the
+//     convolution feeds the classifier head.
+//
+// These are the paper's dataflow-aware pruning constraints (§IV-A1)
+// expressed as a single lcm per layer.
+func (f Folding) ChannelGranularity(m *model.Model) ([]int, error) {
+	if err := f.Validate(m); err != nil {
+		return nil, err
+	}
+	convs := m.Net.Convs()
+	gs := make([]int, len(convs))
+	shapes, err := convFootprints(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := range convs {
+		g := f.ConvPE[i]
+		if i+1 < len(convs) {
+			next := convs[i+1]
+			k2 := next.Geom.KH * next.Geom.KW
+			// SIMD_{i+1} | k2·ch′  ⇔  (SIMD/gcd(SIMD,k2)) | ch′.
+			g = lcm(g, f.ConvSIMD[i+1]/gcd(f.ConvSIMD[i+1], k2))
+		} else if len(f.DenseSIMD) > 0 {
+			foot := shapes[i]
+			g = lcm(g, f.DenseSIMD[0]/gcd(f.DenseSIMD[0], foot))
+		}
+		gs[i] = g
+	}
+	return gs, nil
+}
+
+// DenseGranularity returns, per *hidden* dense layer (every dense except
+// the classifier head), the neuron-count step pruned widths must be a
+// multiple of: PE_i must divide the new width and SIMD_{i+1} must divide
+// the consumer's input — the fully-connected form of the paper's §IV-A1
+// constraints.
+func (f Folding) DenseGranularity(m *model.Model) ([]int, error) {
+	if err := f.Validate(m); err != nil {
+		return nil, err
+	}
+	denses := m.Net.Denses()
+	if len(denses) == 0 {
+		return nil, nil
+	}
+	gs := make([]int, len(denses)-1)
+	for i := 0; i < len(denses)-1; i++ {
+		gs[i] = lcm(f.DensePE[i], f.DenseSIMD[i+1])
+	}
+	return gs, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,67 @@
+package finn
+
+import "fmt"
+
+// PipeStats summarizes an event-driven pipeline simulation.
+type PipeStats struct {
+	Frames         int
+	TotalCycles    int64 // completion time of the last frame
+	FirstLatency   int64 // cycles for the first frame (fill latency)
+	SteadyII       int64 // measured inter-departure gap in steady state
+	ThroughputFPS  float64
+	LatencySeconds float64
+}
+
+// SimulatePipeline runs frames through the dataflow's stage pipeline using
+// the classic recurrence
+//
+//	finish(i, s) = max(finish(i, s-1), finish(i-1, s)) + cycles(s)
+//
+// i.e. a stage starts a frame as soon as both the previous stage delivered
+// it and the stage itself finished the previous frame. It validates the
+// analytic II/latency model: measured steady-state II must equal the
+// slowest stage and first-frame latency the sum of stages.
+func (d *Dataflow) SimulatePipeline(frames int) (*PipeStats, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("finn: SimulatePipeline needs a positive frame count, got %d", frames)
+	}
+	var stages []int64
+	for _, m := range d.Modules {
+		if c := m.CyclesPerFrame(); c > 0 {
+			stages = append(stages, c)
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("finn: %s has no compute stages", d.Name)
+	}
+	prevFinish := make([]int64, len(stages)) // finish(i-1, s)
+	var first, last, prevLast int64
+	for i := 0; i < frames; i++ {
+		var t int64
+		for s, c := range stages {
+			if prevFinish[s] > t {
+				t = prevFinish[s]
+			}
+			t += c
+			prevFinish[s] = t
+		}
+		if i == 0 {
+			first = t
+		}
+		prevLast = last
+		last = t
+	}
+	stats := &PipeStats{
+		Frames:       frames,
+		TotalCycles:  last,
+		FirstLatency: first,
+	}
+	if frames > 1 {
+		stats.SteadyII = last - prevLast
+	} else {
+		stats.SteadyII = first
+	}
+	stats.ThroughputFPS = d.ClockHz / float64(stats.SteadyII)
+	stats.LatencySeconds = float64(first) / d.ClockHz
+	return stats, nil
+}

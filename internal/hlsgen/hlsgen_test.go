@@ -1,0 +1,113 @@
+package hlsgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/finn"
+	"repro/internal/model"
+)
+
+func dataflows(t *testing.T) (fixed, flex *finn.Dataflow) {
+	t.Helper()
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold := finn.DefaultFolding(m)
+	fixed, err = finn.Map(m, fold, finn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex, err = finn.Map(m, fold, finn.Options{Flexible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixed, flex
+}
+
+func gen(t *testing.T, df *finn.Dataflow) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Dataflow(&buf, df); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFixedTemplatesHaveNoRuntimeGuards: the FINN variant must contain no
+// channels port and no if-guards.
+func TestFixedTemplatesHaveNoRuntimeGuards(t *testing.T) {
+	fixed, _ := dataflows(t)
+	out := gen(t, fixed)
+	for _, forbidden := range []string{"ap_uint<16> channels", "runtime-controllable", "Fig. 3"} {
+		if strings.Contains(out, forbidden) {
+			t.Fatalf("fixed template contains %q", forbidden)
+		}
+	}
+	for _, want := range []string{"#pragma HLS PIPELINE II=1", "#pragma HLS UNROLL", "#pragma HLS DATAFLOW", "void mvtu1(", "void swu0("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fixed template missing %q", want)
+		}
+	}
+}
+
+// TestFlexibleTemplatesCarryFig3Guards: the Flexible variant must expose
+// the 16-bit channel ports and place guards exactly where Fig. 3 does —
+// pipeline feeding for MVTU/SWU, unrolled-unit gating for MaxPool.
+func TestFlexibleTemplatesCarryFig3Guards(t *testing.T) {
+	_, flex := dataflows(t)
+	out := gen(t, flex)
+	for _, want := range []string{
+		"ap_uint<16> channels",
+		"if (i < total) { // fewer pipeline iterations when pruned (Fig. 3a)",
+		"if (c < channels) { // some units not fed when pruned (Fig. 3b)",
+		"CHANNELS_WORSTCASE",
+		"TOTAL_WORSTCASE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flexible template missing %q", want)
+		}
+	}
+	// Top level exposes one channel port per convolution.
+	if !strings.Contains(out, "ap_uint<16> ch5") || strings.Contains(out, "ap_uint<16> ch6,") {
+		t.Fatal("top-level channel ports wrong")
+	}
+}
+
+// TestWorstCaseConstantsMatchModel: loop bounds are synthesized from the
+// worst-case model.
+func TestWorstCaseConstantsMatchModel(t *testing.T) {
+	_, flex := dataflows(t)
+	out := gen(t, flex)
+	// Pool after conv2 has 64 worst-case channels; after conv4, 128.
+	if !strings.Contains(out, "const unsigned CHANNELS_WORSTCASE = 64;") {
+		t.Fatal("missing 64-channel worst case")
+	}
+	if !strings.Contains(out, "const unsigned CHANNELS_WORSTCASE = 128;") {
+		t.Fatal("missing 128-channel worst case")
+	}
+}
+
+func TestModuleErrors(t *testing.T) {
+	if err := Dataflow(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil dataflow accepted")
+	}
+	bad := &finn.Module{Kind: finn.ModuleKind(99), Name: "x"}
+	if err := Module(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// FIFOs produce no code and no error.
+	fifo := &finn.Module{Kind: finn.KindFIFO, Name: "f"}
+	var buf bytes.Buffer
+	if err := Module(&buf, fifo); err != nil || buf.Len() != 0 {
+		t.Fatal("fifo should emit nothing")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("CNVW2A2/cifar10/p00-fixed"); got != "CNVW2A2_cifar10_p00_fixed" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

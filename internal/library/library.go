@@ -1,0 +1,225 @@
+// Package library implements AdaFlow's design-time Library Generator
+// (paper §IV-B1): it sweeps the dataflow-aware pruning rate over an
+// initial CNN model, gathers the pruned versions' accuracy and throughput,
+// and synthesizes the accelerators the Runtime Manager chooses among —
+// one Fixed-Pruning accelerator per pruned model and a single
+// Flexible-Pruning accelerator per initial model.
+package library
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/accuracy"
+	"repro/internal/finn"
+	"repro/internal/model"
+	"repro/internal/prune"
+	"repro/internal/synth"
+)
+
+// Entry is one row of the library table: a pruned CNN model version with
+// its measured profile.
+type Entry struct {
+	// NominalRate is the requested pruning rate; EffectiveRate is what the
+	// dataflow constraints allowed.
+	NominalRate   float64
+	EffectiveRate float64
+	// Channels is the per-convolution out-channel count of this version
+	// (what a Flexible accelerator's runtime ports are set to).
+	Channels []int
+	// Accuracy is TOP-1 in [0,1].
+	Accuracy float64
+	// FixedFPS / FlexFPS are throughputs on the Fixed accelerator and on
+	// the Flexible accelerator configured to this version.
+	FixedFPS float64
+	FlexFPS  float64
+	// Fixed is the synthesized Fixed-Pruning accelerator for this version.
+	Fixed *synth.Accelerator
+	// Model optionally retains the pruned weights (nil when the generator
+	// was asked not to keep them).
+	Model *model.Model
+}
+
+// Library is the generated table plus the shared Flexible accelerator.
+type Library struct {
+	ModelName string
+	Dataset   string
+	Entries   []Entry // ascending nominal rate; Entries[0] is unpruned
+	// Flexible is the one runtime-controllable accelerator synthesized to
+	// the initial model's worst-case channels.
+	Flexible *synth.Accelerator
+	// Baseline is the original FINN accelerator (identical to
+	// Entries[0].Fixed; kept for readability at call sites).
+	Baseline *synth.Accelerator
+	// ReconfigTime is the FPGA reconfiguration cost for switching Fixed
+	// accelerators.
+	ReconfigTime time.Duration
+	// FlexSwitchTime is the fast model-switch cost on the Flexible
+	// accelerator (runtime channel-port writes plus weight reload).
+	FlexSwitchTime time.Duration
+}
+
+// Config parameterizes library generation.
+type Config struct {
+	// Rates are the nominal pruning rates; nil uses the paper's sweep,
+	// 0–85 % in 5 % steps (18 models).
+	Rates []float64
+	// Evaluator measures each pruned version's accuracy. Required.
+	Evaluator accuracy.Evaluator
+	// Device defaults to synth.ZCU104.
+	Device *synth.Device
+	// ClockHz defaults to finn.DefaultClockHz.
+	ClockHz float64
+	// KeepModels retains pruned weights in the entries (memory-heavy for
+	// paper-scale models; tests and examples with tiny models set it).
+	KeepModels bool
+	// FlexSwitchTime defaults to 1 ms.
+	FlexSwitchTime time.Duration
+}
+
+// PaperRates returns the paper's sweep: 0 to 0.85 in 0.05 steps.
+func PaperRates() []float64 {
+	var rs []float64
+	for r := 0.0; r < 0.851; r += 0.05 {
+		rs = append(rs, float64(int(r*100+0.5))/100)
+	}
+	return rs
+}
+
+// Generate builds the library from an initial model.
+func Generate(initial *model.Model, cfg Config) (*Library, error) {
+	if cfg.Evaluator == nil {
+		return nil, fmt.Errorf("library: Config.Evaluator is required")
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = PaperRates()
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("library: empty rate sweep")
+	}
+	sort.Float64s(rates)
+	if rates[0] != 0 {
+		rates = append([]float64{0}, rates...)
+	}
+	dev := synth.ZCU104
+	if cfg.Device != nil {
+		dev = *cfg.Device
+	}
+	flexSwitch := cfg.FlexSwitchTime
+	if flexSwitch == 0 {
+		flexSwitch = time.Millisecond
+	}
+
+	fold := finn.DefaultFolding(initial)
+	gran, err := fold.ChannelGranularity(initial)
+	if err != nil {
+		return nil, err
+	}
+
+	lib := &Library{
+		ModelName:      initial.Name,
+		Dataset:        initial.Dataset,
+		ReconfigTime:   dev.ReconfigTime(),
+		FlexSwitchTime: flexSwitch,
+	}
+
+	// One Flexible-Pruning accelerator per initial model (paper: four
+	// flexible accelerators, one per dataset/CNN).
+	flexDF, err := finn.Map(initial, fold, finn.Options{Flexible: true, ClockHz: cfg.ClockHz})
+	if err != nil {
+		return nil, err
+	}
+	lib.Flexible, err = synth.Synthesize(flexDF, dev)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, rate := range rates {
+		pruned, plan, err := prune.Shrink(initial, rate, gran)
+		if err != nil {
+			return nil, fmt.Errorf("library: rate %v: %w", rate, err)
+		}
+		acc, err := cfg.Evaluator.Accuracy(pruned)
+		if err != nil {
+			return nil, fmt.Errorf("library: rate %v: %w", rate, err)
+		}
+		prFold := finn.DefaultFolding(pruned)
+		fixedDF, err := finn.Map(pruned, prFold, finn.Options{ClockHz: cfg.ClockHz})
+		if err != nil {
+			return nil, err
+		}
+		fixedAcc, err := synth.Synthesize(fixedDF, dev)
+		if err != nil {
+			return nil, err
+		}
+		// Flexible throughput for this version: configure and restore.
+		if err := flexDF.SetChannels(plan.Channels); err != nil {
+			return nil, fmt.Errorf("library: rate %v violates flexible constraints: %w", rate, err)
+		}
+		flexFPS := flexDF.FPS()
+		if err := flexDF.SetChannels(flexDF.WorstChannels); err != nil {
+			return nil, err
+		}
+
+		e := Entry{
+			NominalRate:   rate,
+			EffectiveRate: plan.EffectiveRate,
+			Channels:      append([]int(nil), plan.Channels...),
+			Accuracy:      acc,
+			FixedFPS:      fixedDF.FPS(),
+			FlexFPS:       flexFPS,
+			Fixed:         fixedAcc,
+		}
+		if cfg.KeepModels {
+			e.Model = pruned
+		}
+		lib.Entries = append(lib.Entries, e)
+	}
+	lib.Baseline = lib.Entries[0].Fixed
+	return lib, nil
+}
+
+// DistinctVersions returns how many entries have distinct channel
+// configurations (duplicates arise when constraints round small rates to
+// the same shape).
+func (l *Library) DistinctVersions() int {
+	seen := map[string]bool{}
+	for _, e := range l.Entries {
+		seen[fmt.Sprint(e.Channels)] = true
+	}
+	return len(seen)
+}
+
+// BaselineAccuracy returns the unpruned model's accuracy.
+func (l *Library) BaselineAccuracy() float64 { return l.Entries[0].Accuracy }
+
+// BaselineFPS returns the unpruned fixed accelerator's throughput.
+func (l *Library) BaselineFPS() float64 { return l.Entries[0].FixedFPS }
+
+// Validate checks library invariants: ascending rates, monotone
+// non-increasing accuracy, non-decreasing fixed FPS, and a flexible
+// accelerator present.
+func (l *Library) Validate() error {
+	if len(l.Entries) == 0 {
+		return fmt.Errorf("library: no entries")
+	}
+	if l.Flexible == nil {
+		return fmt.Errorf("library: missing flexible accelerator")
+	}
+	for i := 1; i < len(l.Entries); i++ {
+		prev, cur := l.Entries[i-1], l.Entries[i]
+		if cur.NominalRate < prev.NominalRate {
+			return fmt.Errorf("library: rates not ascending at %d", i)
+		}
+		if cur.Accuracy > prev.Accuracy+1e-9 {
+			return fmt.Errorf("library: accuracy increases at rate %v (%v → %v)",
+				cur.NominalRate, prev.Accuracy, cur.Accuracy)
+		}
+		if cur.FixedFPS < prev.FixedFPS-1e-9 {
+			return fmt.Errorf("library: fixed FPS decreases at rate %v", cur.NominalRate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package manager implements AdaFlow's Runtime Manager (paper §IV-B2): the
+// software module that selects, from the generated library, which pruned
+// CNN model version to serve with and which accelerator family (Fixed- or
+// Flexible-Pruning) to load, reacting to workload changes and the user's
+// accuracy threshold.
+//
+// Model selection: among versions whose accuracy stays within the
+// threshold of the unpruned baseline, pick the one with the highest
+// throughput; when several versions can already match the incoming FPS,
+// pick the most accurate of those.
+//
+// Accelerator selection is the paper's rule-based criteria: Fixed-Pruning
+// (more power-efficient, but switching needs an FPGA reconfiguration) is
+// chosen only when model switches have been arriving at intervals larger
+// than a configurable multiple of the reconfiguration time; otherwise the
+// Flexible accelerator serves, switching models with no reconfiguration.
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/library"
+)
+
+// AccelKind distinguishes the two accelerator families.
+type AccelKind int
+
+// Accelerator families.
+const (
+	Fixed AccelKind = iota
+	Flexible
+)
+
+// String names the kind.
+func (k AccelKind) String() string {
+	if k == Flexible {
+		return "Flexible"
+	}
+	return "Fixed"
+}
+
+// Decision is the manager's current serving configuration.
+type Decision struct {
+	Entry int // index into the library
+	Kind  AccelKind
+	// SwitchCost is the serving stall incurred to apply this decision
+	// (reconfiguration for Fixed or accelerator-family changes, fast
+	// switch on Flexible).
+	SwitchCost time.Duration
+	// Reconfigured reports whether applying it required an FPGA
+	// reconfiguration.
+	Reconfigured bool
+}
+
+// Policy selects which objective breaks ties among eligible versions.
+type Policy int
+
+// Policies. The paper's Runtime Manager states the goal as processing the
+// most inferences "with less energy or higher throughput"; PolicyThroughput
+// is the behaviour §IV-B2 spells out, PolicyEnergy is the energy-first
+// variant.
+const (
+	// PolicyThroughput: most accurate version meeting the demand; fastest
+	// eligible version when none meets it.
+	PolicyThroughput Policy = iota
+	// PolicyEnergy: lowest energy-per-inference version meeting the
+	// demand; fastest eligible version when none meets it.
+	PolicyEnergy
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyEnergy {
+		return "energy"
+	}
+	return "throughput"
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	// AccuracyThreshold is the maximum tolerated accuracy loss relative
+	// to the unpruned baseline, in accuracy points on [0,1] scale (the
+	// paper evaluates 0.10).
+	AccuracyThreshold float64
+	// CriteriaMultiple sets the Fixed-vs-Flexible rule: Fixed is selected
+	// only when the observed model-switch interval exceeds
+	// CriteriaMultiple × reconfiguration time (the paper tunes this to
+	// 10×).
+	CriteriaMultiple float64
+	// Headroom derates advertised throughput when matching the incoming
+	// rate (0 = none).
+	Headroom float64
+	// Policy breaks ties among versions that meet the demand.
+	Policy Policy
+}
+
+// DefaultConfig mirrors the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{AccuracyThreshold: 0.10, CriteriaMultiple: 10, Headroom: 0}
+}
+
+// Manager tracks serving state across decisions.
+type Manager struct {
+	lib *library.Library
+	cfg Config
+
+	cur        Decision
+	haveCur    bool
+	lastSwitch float64 // sim time of the last model switch
+	emaIval    float64 // smoothed observed switch interval (+Inf until measured)
+	haveEMA    bool
+	switches   int
+	reconfigs  int
+	log        []LogEntry
+}
+
+// New builds a manager over a generated library.
+func New(lib *library.Library, cfg Config) (*Manager, error) {
+	if lib == nil || len(lib.Entries) == 0 {
+		return nil, fmt.Errorf("manager: empty library")
+	}
+	if cfg.AccuracyThreshold < 0 {
+		return nil, fmt.Errorf("manager: negative accuracy threshold")
+	}
+	if cfg.CriteriaMultiple <= 0 {
+		return nil, fmt.Errorf("manager: criteria multiple must be positive")
+	}
+	return &Manager{lib: lib, cfg: cfg, emaIval: 1e18, lastSwitch: -1e18}, nil
+}
+
+// Library returns the manager's library.
+func (m *Manager) Library() *library.Library { return m.lib }
+
+// SetAccuracyThreshold changes the user threshold at run time; the paper's
+// Runtime Manager "will act every time there is a change in either
+// accuracy threshold (set by the user) or incoming FPS". The next Decide
+// call re-selects under the new threshold.
+func (m *Manager) SetAccuracyThreshold(threshold float64) error {
+	if threshold < 0 {
+		return fmt.Errorf("manager: negative accuracy threshold")
+	}
+	m.cfg.AccuracyThreshold = threshold
+	return nil
+}
+
+// AccuracyThreshold returns the active threshold.
+func (m *Manager) AccuracyThreshold() float64 { return m.cfg.AccuracyThreshold }
+
+// LogEntry is one recorded decision.
+type LogEntry struct {
+	Time     float64
+	Incoming float64
+	Entry    int
+	Kind     AccelKind
+	Switched bool
+}
+
+// Log returns the decision history (every Decide call that changed the
+// serving configuration, plus the initial load).
+func (m *Manager) Log() []LogEntry { return m.log }
+
+// Current returns the active decision (valid after the first Decide).
+func (m *Manager) Current() (Decision, bool) { return m.cur, m.haveCur }
+
+// Switches returns how many model switches the manager has performed.
+func (m *Manager) Switches() int { return m.switches }
+
+// Reconfigs returns how many FPGA reconfigurations those switches cost.
+func (m *Manager) Reconfigs() int { return m.reconfigs }
+
+// eligible reports whether entry i satisfies the accuracy threshold.
+func (m *Manager) eligible(i int) bool {
+	return m.lib.Entries[i].Accuracy >= m.lib.BaselineAccuracy()-m.cfg.AccuracyThreshold
+}
+
+// fps returns the throughput entry i would deliver on the given family.
+func (m *Manager) fps(i int, kind AccelKind) float64 {
+	e := m.lib.Entries[i]
+	if kind == Flexible {
+		return e.FlexFPS
+	}
+	return e.FixedFPS
+}
+
+// SelectModel picks the library entry for an incoming frame rate,
+// independent of accelerator family (throughput ordering is the same on
+// both). It returns the entry index.
+func (m *Manager) SelectModel(incomingFPS float64) int {
+	best := 0
+	bestFPS := -1.0
+	// Highest-throughput eligible version.
+	for i := range m.lib.Entries {
+		if !m.eligible(i) {
+			continue
+		}
+		if f := m.lib.Entries[i].FixedFPS; f > bestFPS {
+			bestFPS = f
+			best = i
+		}
+	}
+	// Among eligible versions that already meet the demand, prefer the
+	// most accurate (the paper's tie rule) or — under PolicyEnergy — the
+	// one with the lowest energy per inference.
+	need := incomingFPS * (1 + m.cfg.Headroom)
+	bestScore := 0.0
+	found := -1
+	for i := range m.lib.Entries {
+		if !m.eligible(i) {
+			continue
+		}
+		e := m.lib.Entries[i]
+		if e.FixedFPS < need {
+			continue
+		}
+		var score float64
+		if m.cfg.Policy == PolicyEnergy {
+			score = -e.Fixed.TotalEnergyPerInference()
+		} else {
+			score = e.Accuracy
+		}
+		if found < 0 || score > bestScore {
+			bestScore = score
+			found = i
+		}
+	}
+	if found >= 0 {
+		return found
+	}
+	return best
+}
+
+// Decide reacts to a workload observation at simulation time now
+// (seconds), returning the new decision and whether it changed the serving
+// configuration. The returned Decision carries the switching cost to apply.
+func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
+	entry := m.SelectModel(incomingFPS)
+
+	modelSwitch := !m.haveCur || entry != m.cur.Entry
+	// Accelerator-family rule: use Fixed only when switches have been
+	// arriving at intervals beyond the criteria. A smoothed interval (EMA)
+	// keeps one quiet stretch in an unpredictable phase from flapping back
+	// to Fixed and paying reconfigurations.
+	interval := m.emaIval
+	if modelSwitch && m.haveCur {
+		obs := now - m.lastSwitch
+		if obs < interval {
+			interval = obs
+		}
+	}
+	kind := Flexible
+	if interval >= m.cfg.CriteriaMultiple*m.lib.ReconfigTime.Seconds() {
+		kind = Fixed
+	}
+
+	if !modelSwitch && m.haveCur && kind == m.cur.Kind {
+		return m.cur, false
+	}
+	// A family change without a model change still requires loading the
+	// other accelerator (a reconfiguration); only perform it alongside a
+	// model switch to avoid gratuitous reloads.
+	if !modelSwitch && m.haveCur && kind != m.cur.Kind {
+		return m.cur, false
+	}
+
+	d := Decision{Entry: entry, Kind: kind}
+	switch {
+	case !m.haveCur:
+		// Initial load is a reconfiguration.
+		d.SwitchCost = m.lib.ReconfigTime
+		d.Reconfigured = true
+	case kind == Flexible && m.cur.Kind == Flexible:
+		// Fast model switch on the already-loaded flexible accelerator.
+		d.SwitchCost = m.lib.FlexSwitchTime
+	default:
+		// Loading a (different) fixed bitstream, or moving between
+		// families: full FPGA reconfiguration.
+		d.SwitchCost = m.lib.ReconfigTime
+		d.Reconfigured = true
+	}
+	if modelSwitch {
+		if m.haveCur {
+			obs := now - m.lastSwitch
+			if !m.haveEMA {
+				m.emaIval = obs
+				m.haveEMA = true
+			} else {
+				m.emaIval = 0.5*m.emaIval + 0.5*obs
+			}
+		}
+		m.lastSwitch = now
+		m.switches++
+	}
+	if d.Reconfigured {
+		m.reconfigs++
+	}
+	m.cur = d
+	m.haveCur = true
+	m.log = append(m.log, LogEntry{
+		Time: now, Incoming: incomingFPS,
+		Entry: d.Entry, Kind: d.Kind, Switched: modelSwitch,
+	})
+	return d, true
+}

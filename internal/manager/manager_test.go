@@ -1,0 +1,213 @@
+package manager
+
+import (
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+func paperLib(t *testing.T) *library.Library {
+	t.Helper()
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := accuracy.NewCalibrated("CNVW2A2", "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestNewValidation(t *testing.T) {
+	lib := paperLib(t)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil library accepted")
+	}
+	bad := DefaultConfig()
+	bad.AccuracyThreshold = -1
+	if _, err := New(lib, bad); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.CriteriaMultiple = 0
+	if _, err := New(lib, bad); err == nil {
+		t.Fatal("zero criteria accepted")
+	}
+}
+
+func TestSelectModelLowWorkloadPrefersAccuracy(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incoming far below baseline capacity: the unpruned model matches the
+	// demand and has the best accuracy.
+	idx := mgr.SelectModel(100)
+	if idx != 0 {
+		t.Fatalf("low workload selected entry %d (rate %v)", idx, lib.Entries[idx].NominalRate)
+	}
+}
+
+func TestSelectModelHighWorkloadPrefersThroughputWithinThreshold(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand above every in-threshold version: select the fastest version
+	// still within the accuracy threshold, not an over-pruned one.
+	idx := mgr.SelectModel(1e9)
+	e := lib.Entries[idx]
+	if e.Accuracy < lib.BaselineAccuracy()-DefaultConfig().AccuracyThreshold {
+		t.Fatalf("selected entry below threshold: acc %v", e.Accuracy)
+	}
+	// It must be the fastest eligible one.
+	for i, o := range lib.Entries {
+		eligible := o.Accuracy >= lib.BaselineAccuracy()-DefaultConfig().AccuracyThreshold
+		if eligible && o.FixedFPS > e.FixedFPS {
+			t.Fatalf("entry %d (%.0f FPS) faster than selected (%.0f FPS)", i, o.FixedFPS, e.FixedFPS)
+		}
+	}
+	if idx == 0 {
+		t.Fatal("high workload kept the unpruned model")
+	}
+}
+
+func TestSelectModelMidWorkloadPicksJustEnough(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := lib.BaselineFPS() * 1.3
+	idx := mgr.SelectModel(mid)
+	e := lib.Entries[idx]
+	if e.FixedFPS < mid {
+		t.Fatalf("selected version cannot match demand: %v < %v", e.FixedFPS, mid)
+	}
+	// Most accurate among those meeting demand.
+	for _, o := range lib.Entries {
+		eligible := o.Accuracy >= lib.BaselineAccuracy()-DefaultConfig().AccuracyThreshold
+		if eligible && o.FixedFPS >= mid && o.Accuracy > e.Accuracy {
+			t.Fatal("a more accurate matching version exists")
+		}
+	}
+}
+
+func TestDecideAcceleratorFamilyRule(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := DefaultConfig().CriteriaMultiple * lib.ReconfigTime.Seconds()
+
+	// Initial decision: switch intervals unknown (treated as long) →
+	// Fixed.
+	d0, changed := mgr.Decide(0, 100)
+	if !changed || d0.Kind != Fixed || !d0.Reconfigured {
+		t.Fatalf("initial decision %+v", d0)
+	}
+
+	// A switch long after the last one stays Fixed.
+	d1, changed := mgr.Decide(crit*3, lib.BaselineFPS()*2)
+	if !changed || d1.Kind != Fixed || !d1.Reconfigured {
+		t.Fatalf("slow switch decision %+v (changed=%v)", d1, changed)
+	}
+
+	// A quick follow-up switch flips to Flexible (the observed interval
+	// is below the criteria) — and costs a reconfiguration once (family
+	// change), then fast switches.
+	d2, changed := mgr.Decide(crit*3+0.2, 100)
+	if !changed || d2.Kind != Flexible {
+		t.Fatalf("fast switch decision %+v (changed=%v)", d2, changed)
+	}
+	if !d2.Reconfigured {
+		t.Fatal("family change must reconfigure")
+	}
+	d3, changed := mgr.Decide(crit*3+0.4, lib.BaselineFPS()*2)
+	if !changed || d3.Kind != Flexible || d3.Reconfigured {
+		t.Fatalf("subsequent fast switch %+v", d3)
+	}
+	if d3.SwitchCost != lib.FlexSwitchTime {
+		t.Fatalf("fast switch cost = %v, want %v", d3.SwitchCost, lib.FlexSwitchTime)
+	}
+	if mgr.Switches() != 4 {
+		t.Fatalf("switches = %d, want 4", mgr.Switches())
+	}
+}
+
+func TestDecideNoChangeNoSwitch(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Decide(0, 100)
+	d, changed := mgr.Decide(1, 101) // same selection
+	if changed {
+		t.Fatalf("no-op decision flagged as change: %+v", d)
+	}
+	if mgr.Switches() != 1 {
+		t.Fatalf("switches = %d", mgr.Switches())
+	}
+}
+
+func TestPolicyEnergyPrefersCheaperVersion(t *testing.T) {
+	lib := paperLib(t)
+	thr, err := New(lib, Config{AccuracyThreshold: 0.10, CriteriaMultiple: 10, Policy: PolicyThroughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(lib, Config{AccuracyThreshold: 0.10, CriteriaMultiple: 10, Policy: PolicyEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a low demand every eligible version matches: throughput policy
+	// picks the most accurate (unpruned), energy policy the cheapest
+	// (deepest eligible pruning).
+	low := 100.0
+	it := thr.SelectModel(low)
+	ie := en.SelectModel(low)
+	et, ee := lib.Entries[it], lib.Entries[ie]
+	if et.Accuracy < ee.Accuracy {
+		t.Fatal("throughput policy picked lower accuracy")
+	}
+	if ee.Fixed.TotalEnergyPerInference() > et.Fixed.TotalEnergyPerInference() {
+		t.Fatalf("energy policy picked costlier version: %.3g vs %.3g mJ",
+			ee.Fixed.TotalEnergyPerInference()*1e3, et.Fixed.TotalEnergyPerInference()*1e3)
+	}
+	if ie == it {
+		t.Fatal("policies selected the same version; energy policy vacuous")
+	}
+	// Both respect the accuracy threshold.
+	if ee.Accuracy < lib.BaselineAccuracy()-0.101 {
+		t.Fatal("energy policy violated the accuracy threshold")
+	}
+	if PolicyEnergy.String() != "energy" || PolicyThroughput.String() != "throughput" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestThresholdWidensSelection(t *testing.T) {
+	lib := paperLib(t)
+	tight, _ := New(lib, Config{AccuracyThreshold: 0.02, CriteriaMultiple: 10})
+	loose, _ := New(lib, Config{AccuracyThreshold: 0.30, CriteriaMultiple: 10})
+	hi := 1e9
+	et := lib.Entries[tight.SelectModel(hi)]
+	el := lib.Entries[loose.SelectModel(hi)]
+	if el.FixedFPS < et.FixedFPS {
+		t.Fatal("larger threshold must allow at least the same throughput")
+	}
+	if el.NominalRate <= et.NominalRate {
+		t.Fatal("larger threshold should reach deeper pruning")
+	}
+}

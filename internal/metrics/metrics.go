@@ -1,0 +1,159 @@
+// Package metrics defines the evaluation metrics of the paper's §V:
+// frame loss, Quality of Experience (accuracy × fraction of processed
+// frames), power, energy per inference, and power efficiency (processed
+// inferences per joule), plus aggregation over repeated simulation runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator integrates a single simulation run.
+type Accumulator struct {
+	Arrived   float64
+	Processed float64
+	Dropped   float64
+	// accWeighted accumulates accuracy × processed frames.
+	accWeighted float64
+	EnergyJ     float64
+	Seconds     float64
+	Switches    int
+	Reconfigs   int
+
+	// queue occupancy integral (frames·seconds) and peak, for latency
+	// estimates via Little's law.
+	queueIntegral float64
+	maxQueue      float64
+}
+
+// AddQueue records the queue occupancy over a dt-long step.
+func (a *Accumulator) AddQueue(frames, dt float64) {
+	a.queueIntegral += frames * dt
+	if frames > a.maxQueue {
+		a.maxQueue = frames
+	}
+}
+
+// Add records one accounting step.
+func (a *Accumulator) Add(arrived, processed, dropped, accuracy, energyJ, dt float64) {
+	a.Arrived += arrived
+	a.Processed += processed
+	a.Dropped += dropped
+	a.accWeighted += accuracy * processed
+	a.EnergyJ += energyJ
+	a.Seconds += dt
+}
+
+// RunStats summarizes one finished run.
+type RunStats struct {
+	Arrived      float64
+	Processed    float64
+	Dropped      float64
+	FrameLossPct float64
+	AvgAccuracy  float64 // processed-weighted, [0,1]
+	QoEPct       float64 // accuracy × processed fraction, percent
+	AvgPowerW    float64
+	EnergyJ      float64
+	EnergyPerInf float64 // J per processed inference
+	PowerEff     float64 // processed inferences per joule
+	Switches     int
+	Reconfigs    int
+	// AvgQueueFrames is the time-averaged server queue occupancy;
+	// AvgLatencyMS the implied mean queueing delay of a processed frame
+	// (Little's law: L = λ·W); MaxQueueFrames the peak occupancy.
+	AvgQueueFrames float64
+	AvgLatencyMS   float64
+	MaxQueueFrames float64
+}
+
+// Finalize computes the run summary.
+func (a *Accumulator) Finalize() RunStats {
+	s := RunStats{
+		Arrived:   a.Arrived,
+		Processed: a.Processed,
+		Dropped:   a.Dropped,
+		EnergyJ:   a.EnergyJ,
+		Switches:  a.Switches,
+		Reconfigs: a.Reconfigs,
+	}
+	if a.Arrived > 0 {
+		s.FrameLossPct = 100 * a.Dropped / a.Arrived
+	}
+	if a.Processed > 0 {
+		s.AvgAccuracy = a.accWeighted / a.Processed
+		s.EnergyPerInf = a.EnergyJ / a.Processed
+	}
+	if a.Arrived > 0 {
+		s.QoEPct = 100 * s.AvgAccuracy * (a.Processed / a.Arrived)
+	}
+	if a.Seconds > 0 {
+		s.AvgPowerW = a.EnergyJ / a.Seconds
+	}
+	if a.EnergyJ > 0 {
+		s.PowerEff = a.Processed / a.EnergyJ
+	}
+	if a.Seconds > 0 {
+		s.AvgQueueFrames = a.queueIntegral / a.Seconds
+		throughput := a.Processed / a.Seconds
+		if throughput > 0 {
+			s.AvgLatencyMS = s.AvgQueueFrames / throughput * 1e3
+		}
+	}
+	s.MaxQueueFrames = a.maxQueue
+	return s
+}
+
+// Mean averages runs field-wise. It panics on an empty slice via the
+// returned error instead: it reports an error for empty input.
+func Mean(runs []RunStats) (RunStats, error) {
+	if len(runs) == 0 {
+		return RunStats{}, fmt.Errorf("metrics: no runs to aggregate")
+	}
+	var m RunStats
+	n := float64(len(runs))
+	for _, r := range runs {
+		m.Arrived += r.Arrived / n
+		m.Processed += r.Processed / n
+		m.Dropped += r.Dropped / n
+		m.FrameLossPct += r.FrameLossPct / n
+		m.AvgAccuracy += r.AvgAccuracy / n
+		m.QoEPct += r.QoEPct / n
+		m.AvgPowerW += r.AvgPowerW / n
+		m.EnergyJ += r.EnergyJ / n
+		m.EnergyPerInf += r.EnergyPerInf / n
+		m.PowerEff += r.PowerEff / n
+		m.AvgQueueFrames += r.AvgQueueFrames / n
+		m.AvgLatencyMS += r.AvgLatencyMS / n
+		if r.MaxQueueFrames > m.MaxQueueFrames {
+			m.MaxQueueFrames = r.MaxQueueFrames
+		}
+	}
+	var sw, rc float64
+	for _, r := range runs {
+		sw += float64(r.Switches)
+		rc += float64(r.Reconfigs)
+	}
+	m.Switches = int(math.Round(sw / n))
+	m.Reconfigs = int(math.Round(rc / n))
+	return m, nil
+}
+
+// StdFrameLoss returns the standard deviation of frame loss across runs —
+// a dispersion check for the stochastic scenarios.
+func StdFrameLoss(runs []RunStats) float64 {
+	if len(runs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, r := range runs {
+		mean += r.FrameLossPct
+	}
+	mean /= float64(len(runs))
+	var v float64
+	for _, r := range runs {
+		d := r.FrameLossPct - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(runs)-1))
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccumulatorFinalize(t *testing.T) {
+	var a Accumulator
+	// 100 frames arrive, 80 processed at accuracy 0.9, 20 dropped, 50 J
+	// over 10 s.
+	a.Add(100, 80, 20, 0.9, 50, 10)
+	s := a.Finalize()
+	if s.FrameLossPct != 20 {
+		t.Fatalf("loss = %v", s.FrameLossPct)
+	}
+	if math.Abs(s.AvgAccuracy-0.9) > 1e-9 {
+		t.Fatalf("acc = %v", s.AvgAccuracy)
+	}
+	if math.Abs(s.QoEPct-0.9*0.8*100) > 1e-9 {
+		t.Fatalf("QoE = %v, want 72", s.QoEPct)
+	}
+	if s.AvgPowerW != 5 {
+		t.Fatalf("power = %v", s.AvgPowerW)
+	}
+	if math.Abs(s.EnergyPerInf-50.0/80) > 1e-12 {
+		t.Fatalf("E/inf = %v", s.EnergyPerInf)
+	}
+	if math.Abs(s.PowerEff-80.0/50) > 1e-12 {
+		t.Fatalf("eff = %v", s.PowerEff)
+	}
+}
+
+func TestAccumulatorMixedAccuracy(t *testing.T) {
+	var a Accumulator
+	a.Add(50, 50, 0, 1.0, 10, 5)
+	a.Add(50, 50, 0, 0.5, 10, 5)
+	s := a.Finalize()
+	if math.Abs(s.AvgAccuracy-0.75) > 1e-9 {
+		t.Fatalf("mixed acc = %v", s.AvgAccuracy)
+	}
+}
+
+func TestFinalizeEmptyRunSafe(t *testing.T) {
+	var a Accumulator
+	s := a.Finalize()
+	if s.FrameLossPct != 0 || s.QoEPct != 0 || s.PowerEff != 0 {
+		t.Fatalf("empty run stats not zero: %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	runs := []RunStats{
+		{FrameLossPct: 10, QoEPct: 70, AvgPowerW: 1.0, Switches: 3, Reconfigs: 1},
+		{FrameLossPct: 20, QoEPct: 80, AvgPowerW: 1.2, Switches: 5, Reconfigs: 3},
+	}
+	m, err := Mean(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.FrameLossPct-15) > 1e-9 || math.Abs(m.QoEPct-75) > 1e-9 {
+		t.Fatalf("mean = %+v", m)
+	}
+	if m.Switches != 4 || m.Reconfigs != 2 {
+		t.Fatalf("counts = %d/%d", m.Switches, m.Reconfigs)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+}
+
+func TestQueueAndLatency(t *testing.T) {
+	var a Accumulator
+	// 10 s at 100 processed FPS with a steady queue of 20 frames.
+	a.Add(1000, 1000, 0, 1, 10, 10)
+	a.AddQueue(20, 10)
+	s := a.Finalize()
+	if math.Abs(s.AvgQueueFrames-20) > 1e-9 {
+		t.Fatalf("avg queue = %v", s.AvgQueueFrames)
+	}
+	// Little: W = L/λ = 20/100 = 0.2 s.
+	if math.Abs(s.AvgLatencyMS-200) > 1e-6 {
+		t.Fatalf("latency = %v ms", s.AvgLatencyMS)
+	}
+	if s.MaxQueueFrames != 20 {
+		t.Fatalf("max queue = %v", s.MaxQueueFrames)
+	}
+}
+
+func TestMeanCarriesLatency(t *testing.T) {
+	m, err := Mean([]RunStats{
+		{AvgQueueFrames: 10, AvgLatencyMS: 100, MaxQueueFrames: 16},
+		{AvgQueueFrames: 20, AvgLatencyMS: 300, MaxQueueFrames: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgQueueFrames != 15 || m.AvgLatencyMS != 200 {
+		t.Fatalf("mean latency fields: %+v", m)
+	}
+	if m.MaxQueueFrames != 16 {
+		t.Fatalf("max of max = %v", m.MaxQueueFrames)
+	}
+}
+
+func TestStdFrameLoss(t *testing.T) {
+	if StdFrameLoss([]RunStats{{FrameLossPct: 5}}) != 0 {
+		t.Fatal("single run std not zero")
+	}
+	std := StdFrameLoss([]RunStats{{FrameLossPct: 10}, {FrameLossPct: 20}})
+	if math.Abs(std-math.Sqrt(50)) > 1e-9 {
+		t.Fatalf("std = %v", std)
+	}
+}

@@ -1,0 +1,133 @@
+// Package multiedge extends the single-FPGA edge server of internal/edge
+// to a pool of FPGAs behind one frame dispatcher — the direction the
+// AdaFlow authors pursue in their multi-FPGA follow-up work (cited as [3]
+// in the paper). Each board runs its own AdaFlow Runtime Manager over the
+// shared library; the dispatcher splits the incoming stream across boards
+// evenly, and each manager adapts its board independently.
+//
+// The pool presents itself to edge.Run as a single edge.Controller whose
+// capacity, accuracy (capacity-weighted) and power are pool aggregates. A
+// board that reconfigures removes 1/n of the pool's capacity for the
+// reconfiguration time; the pool reports that as an equivalent whole-pool
+// stall of duration/n, so reconfigurations are increasingly masked as the
+// pool grows — the effect that makes Fixed-Pruning more attractive on
+// larger installations.
+package multiedge
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/library"
+	"repro/internal/manager"
+)
+
+// board is one FPGA of the pool.
+type board struct {
+	mgr      *manager.Manager
+	fps      float64
+	accuracy float64
+	powerAt  func(float64) float64
+	idle     float64
+}
+
+// Pool is an edge.Controller dispatching over several boards.
+type Pool struct {
+	lib    *library.Library
+	boards []*board
+}
+
+// NewPool builds a pool of n boards over a shared library, each with its
+// own Runtime Manager configured with cfg.
+func NewPool(lib *library.Library, n int, cfg manager.Config) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("multiedge: pool needs at least one board, got %d", n)
+	}
+	p := &Pool{lib: lib}
+	for i := 0; i < n; i++ {
+		mgr, err := manager.New(lib, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.boards = append(p.boards, &board{mgr: mgr})
+	}
+	return p, nil
+}
+
+// Boards returns the pool size.
+func (p *Pool) Boards() int { return len(p.boards) }
+
+// Reconfigs sums FPGA reconfigurations across boards.
+func (p *Pool) Reconfigs() int {
+	total := 0
+	for _, b := range p.boards {
+		total += b.mgr.Reconfigs()
+	}
+	return total
+}
+
+// Switches sums model switches across boards.
+func (p *Pool) Switches() int {
+	total := 0
+	for _, b := range p.boards {
+		total += b.mgr.Switches()
+	}
+	return total
+}
+
+// React implements edge.Controller: every board decides against its share
+// of the incoming stream; the pool aggregates capacity, accuracy and
+// power, and reports board switch costs as an equivalent whole-pool stall
+// (cost/n per switching board).
+func (p *Pool) React(now, incomingFPS float64) (edge.Serving, time.Duration, bool, bool) {
+	n := float64(len(p.boards))
+	share := incomingFPS / n
+	switched, reconf := false, false
+	var stall time.Duration
+	for _, b := range p.boards {
+		d, changed := b.mgr.Decide(now, share)
+		e := p.lib.Entries[d.Entry]
+		if d.Kind == manager.Flexible {
+			b.fps = e.FlexFPS
+			b.idle = p.lib.Flexible.IdlePower()
+		} else {
+			b.fps = e.FixedFPS
+			b.idle = e.Fixed.IdlePower()
+		}
+		b.accuracy = e.Accuracy
+		b.powerAt = e.Fixed.PowerAt
+		if changed {
+			switched = true
+			if d.Reconfigured {
+				reconf = true
+			}
+			stall += time.Duration(float64(d.SwitchCost) / n)
+		}
+	}
+	boards := p.boards
+	var capacity, accW, idleTotal float64
+	for _, b := range boards {
+		capacity += b.fps
+		accW += b.accuracy * b.fps
+		idleTotal += b.idle
+	}
+	acc := 0.0
+	if capacity > 0 {
+		acc = accW / capacity
+	}
+	s := edge.Serving{
+		FPS:      capacity,
+		Accuracy: acc,
+		PowerAt: func(fps float64) float64 {
+			var total float64
+			for _, b := range boards {
+				total += b.powerAt(fps / float64(len(boards)))
+			}
+			return total
+		},
+		IdlePower: idleTotal,
+		Label:     fmt.Sprintf("pool[%d]", len(boards)),
+	}
+	return s, stall, switched, reconf
+}

@@ -1,0 +1,148 @@
+package multiedge
+
+import (
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/edge"
+	"repro/internal/library"
+	"repro/internal/manager"
+	"repro/internal/model"
+)
+
+func paperLib(t testing.TB) *library.Library {
+	t.Helper()
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := accuracy.NewCalibrated("CNVW2A2", "cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	lib := paperLib(t)
+	if _, err := NewPool(lib, 0, manager.DefaultConfig()); err == nil {
+		t.Fatal("zero boards accepted")
+	}
+	p, err := NewPool(lib, 3, manager.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Boards() != 3 {
+		t.Fatalf("boards = %d", p.Boards())
+	}
+}
+
+// TestPoolCapacityScales: a 2-board pool under a doubled workload performs
+// at least as well as a single board under the nominal workload.
+func TestPoolCapacityScales(t *testing.T) {
+	lib := paperLib(t)
+
+	single, _, err := edge.RunRepeated(edge.Scenario2(), func() (edge.Controller, error) {
+		return NewPool(lib, 1, manager.DefaultConfig())
+	}, 10, 1, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doubled := edge.Scenario2()
+	doubled.Devices *= 2
+	pool2, _, err := edge.RunRepeated(doubled, func() (edge.Controller, error) {
+		return NewPool(lib, 2, manager.DefaultConfig())
+	}, 10, 1, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool2.FrameLossPct > single.FrameLossPct+2 {
+		t.Fatalf("2-board pool at 2x load lost %.1f%%, single board at 1x lost %.1f%%",
+			pool2.FrameLossPct, single.FrameLossPct)
+	}
+	if pool2.Processed < 1.8*single.Processed {
+		t.Fatalf("2-board pool processed %.0f, want ≈2x %.0f", pool2.Processed, single.Processed)
+	}
+}
+
+// TestPoolBeatsSingleOnOverload: when one board is overloaded, adding
+// boards recovers the lost frames.
+func TestPoolBeatsSingleOnOverload(t *testing.T) {
+	lib := paperLib(t)
+	scn := edge.Scenario2()
+	scn.Devices = 60 // 1800 FPS mean: beyond any single-board version
+
+	single, _, err := edge.RunRepeated(scn, func() (edge.Controller, error) {
+		mgr, err := manager.New(lib, manager.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return edge.NewAdaFlow(mgr), nil
+	}, 5, 1, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, _, err := edge.RunRepeated(scn, func() (edge.Controller, error) {
+		return NewPool(lib, 4, manager.DefaultConfig())
+	}, 5, 1, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.FrameLossPct >= single.FrameLossPct {
+		t.Fatalf("pool loss %.1f%% ≥ single %.1f%%", pool.FrameLossPct, single.FrameLossPct)
+	}
+	// More hardware burns more power in absolute terms.
+	if pool.AvgPowerW <= single.AvgPowerW {
+		t.Fatalf("pool power %.2f ≤ single %.2f", pool.AvgPowerW, single.AvgPowerW)
+	}
+}
+
+// TestPoolSingleBoardMatchesAdaFlowController: a 1-board pool behaves like
+// the plain AdaFlow controller (same decisions, same library).
+func TestPoolSingleBoardMatchesAdaFlowController(t *testing.T) {
+	lib := paperLib(t)
+	mk1 := func() (edge.Controller, error) { return NewPool(lib, 1, manager.DefaultConfig()) }
+	mk2 := func() (edge.Controller, error) {
+		mgr, err := manager.New(lib, manager.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return edge.NewAdaFlow(mgr), nil
+	}
+	a, _, err := edge.RunRepeated(edge.Scenario1(), mk1, 5, 9, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := edge.RunRepeated(edge.Scenario1(), mk2, 5, 9, edge.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.FrameLossPct - b.FrameLossPct; d > 1 || d < -1 {
+		t.Fatalf("1-board pool loss %.2f%% vs AdaFlow %.2f%%", a.FrameLossPct, b.FrameLossPct)
+	}
+	if d := a.QoEPct - b.QoEPct; d > 1.5 || d < -1.5 {
+		t.Fatalf("1-board pool QoE %.2f vs AdaFlow %.2f", a.QoEPct, b.QoEPct)
+	}
+}
+
+func TestPoolCounters(t *testing.T) {
+	lib := paperLib(t)
+	pool, err := NewPool(lib, 2, manager.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edge.Run(edge.Scenario2(), pool, edge.SimConfig{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Switches() == 0 {
+		t.Fatal("no switches recorded")
+	}
+	if pool.Reconfigs() > pool.Switches() {
+		t.Fatal("more reconfigs than switches")
+	}
+}

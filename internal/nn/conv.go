@@ -1,0 +1,278 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer with OIHW weights and optional weight
+// quantization. It is the software twin of a FINN SWU+MVTU pair.
+type Conv2D struct {
+	ID   string
+	Geom tensor.ConvGeom // input geometry; OutC filters of KHxKW over InC
+	OutC int
+
+	Weight *Param // shape (OutC, InC, KH, KW)
+	Bias   *Param // shape (OutC); nil if disabled
+
+	Quant *quant.WeightQuantizer // nil = float weights
+	// PerChannel quantizes each filter with its own adaptive scale
+	// (FINN's per-channel weight scaling) instead of one tensor-wide
+	// scale.
+	PerChannel bool
+
+	// forward cache
+	cols   *tensor.Tensor // im2col of last input
+	qw     *tensor.Tensor // quantized weight matrix (OutC, InC*KH*KW)
+	inGeom tensor.ConvGeom
+}
+
+// ConvConfig collects Conv2D construction options.
+type ConvConfig struct {
+	ID         string
+	Geom       tensor.ConvGeom
+	OutC       int
+	Bias       bool
+	WQuant     *quant.WeightQuantizer
+	PerChannel bool       // per-filter quantization scales
+	InitRNG    *rand.Rand // nil = zero weights
+}
+
+// NewConv2D builds a convolution layer, He-initializing weights when an RNG
+// is supplied.
+func NewConv2D(cfg ConvConfig) (*Conv2D, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OutC <= 0 {
+		return nil, fmt.Errorf("nn: conv %q has non-positive OutC %d", cfg.ID, cfg.OutC)
+	}
+	c := &Conv2D{ID: cfg.ID, Geom: cfg.Geom, OutC: cfg.OutC, Quant: cfg.WQuant, PerChannel: cfg.PerChannel}
+	w := tensor.New(cfg.OutC, cfg.Geom.InC, cfg.Geom.KH, cfg.Geom.KW)
+	if cfg.InitRNG != nil {
+		fanIn := cfg.Geom.InC * cfg.Geom.KH * cfg.Geom.KW
+		std := float32(math.Sqrt(2 / float64(fanIn)))
+		for i := range w.Data() {
+			w.Data()[i] = float32(cfg.InitRNG.NormFloat64()) * std
+		}
+	}
+	c.Weight = newParam(cfg.ID+".weight", w)
+	if cfg.Bias {
+		c.Bias = newParam(cfg.ID+".bias", tensor.New(cfg.OutC))
+	}
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d:" + c.ID }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// EffectiveWeights returns the weights as they enter the compute: the
+// (OutC, InC·KH·KW) matrix after fake quantization (per-channel when
+// configured), or the raw weights for float layers. The dataflow compiler
+// consumes exactly this view.
+func (c *Conv2D) EffectiveWeights() (*tensor.Tensor, error) {
+	k := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	wm, err := c.Weight.Value.Reshape(c.OutC, k)
+	if err != nil {
+		return nil, err
+	}
+	if c.Quant == nil {
+		return wm, nil
+	}
+	q := tensor.New(c.OutC, k)
+	if c.PerChannel {
+		if _, err := c.Quant.QuantizeTensorPerChannel(q.Data(), wm.Data(), k); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	if _, err := c.Quant.QuantizeTensor(q.Data(), wm.Data()); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Forward implements Layer. Input is CHW; output is (OutC, OutH, OutW).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	cols, err := tensor.Im2Col(x, c.Geom)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := c.EffectiveWeights()
+	if err != nil {
+		return nil, err
+	}
+	out, err := tensor.Gemm(wm, cols) // (OutC, OutH*OutW)
+	if err != nil {
+		return nil, err
+	}
+	if c.Bias != nil {
+		oh, ow := c.Geom.OutH(), c.Geom.OutW()
+		od := out.Data()
+		for o := 0; o < c.OutC; o++ {
+			b := c.Bias.Value.Data()[o]
+			row := od[o*oh*ow : (o+1)*oh*ow]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	if train {
+		c.cols = cols
+		c.qw = wm
+		c.inGeom = c.Geom
+	} else {
+		c.cols, c.qw = nil, nil
+	}
+	return out.Reshape(c.OutC, c.Geom.OutH(), c.Geom.OutW())
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cols == nil {
+		return nil, fmt.Errorf("nn: conv %q Backward without Forward(train=true)", c.ID)
+	}
+	oh, ow := c.inGeom.OutH(), c.inGeom.OutW()
+	g, err := grad.Reshape(c.OutC, oh*ow)
+	if err != nil {
+		return nil, err
+	}
+	// dW = g · colsᵀ, with STE through the quantizer.
+	dW, err := tensor.GemmTransB(g, c.cols)
+	if err != nil {
+		return nil, err
+	}
+	k := c.inGeom.InC * c.inGeom.KH * c.inGeom.KW
+	wg, err := c.Weight.Grad.Reshape(c.OutC, k)
+	if err != nil {
+		return nil, err
+	}
+	// Straight-through estimator: the gradient of the fake-quantized
+	// forward passes to the float shadow weights unchanged (the adaptive
+	// per-tensor scale means no weight sits outside the grid range).
+	for i, gv := range dW.Data() {
+		wg.Data()[i] += gv
+	}
+	if c.Bias != nil {
+		bg := c.Bias.Grad.Data()
+		gd := g.Data()
+		for o := 0; o < c.OutC; o++ {
+			var s float32
+			for _, v := range gd[o*oh*ow : (o+1)*oh*ow] {
+				s += v
+			}
+			bg[o] += s
+		}
+	}
+	// dX = Col2Im(Wᵀ · g).
+	dCols, err := tensor.GemmTransA(c.qw, g)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Col2Im(dCols, c.inGeom)
+}
+
+// PruneFilters removes the given output filters (ascending, unique indices)
+// from the layer, shrinking OutC. The caller is responsible for shrinking
+// the consuming layer's input channels with PruneInputChannels.
+func (c *Conv2D) PruneFilters(remove []int) error {
+	keep, err := keepIndices(c.OutC, remove)
+	if err != nil {
+		return fmt.Errorf("nn: conv %q: %w", c.ID, err)
+	}
+	k := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	nw := tensor.New(len(keep), c.Geom.InC, c.Geom.KH, c.Geom.KW)
+	src := c.Weight.Value.Data()
+	dst := nw.Data()
+	for ni, oi := range keep {
+		copy(dst[ni*k:(ni+1)*k], src[oi*k:(oi+1)*k])
+	}
+	c.Weight = newParam(c.ID+".weight", nw)
+	if c.Bias != nil {
+		nb := tensor.New(len(keep))
+		for ni, oi := range keep {
+			nb.Data()[ni] = c.Bias.Value.Data()[oi]
+		}
+		c.Bias = newParam(c.ID+".bias", nb)
+	}
+	c.OutC = len(keep)
+	return nil
+}
+
+// PruneInputChannels removes the given input channels from the layer's
+// weights and geometry, matching an upstream filter prune.
+func (c *Conv2D) PruneInputChannels(remove []int) error {
+	keep, err := keepIndices(c.Geom.InC, remove)
+	if err != nil {
+		return fmt.Errorf("nn: conv %q inputs: %w", c.ID, err)
+	}
+	kk := c.Geom.KH * c.Geom.KW
+	nw := tensor.New(c.OutC, len(keep), c.Geom.KH, c.Geom.KW)
+	src := c.Weight.Value.Data()
+	dst := nw.Data()
+	oldK := c.Geom.InC * kk
+	newK := len(keep) * kk
+	for o := 0; o < c.OutC; o++ {
+		for ni, ci := range keep {
+			copy(dst[o*newK+ni*kk:o*newK+(ni+1)*kk], src[o*oldK+ci*kk:o*oldK+(ci+1)*kk])
+		}
+	}
+	c.Weight = newParam(c.ID+".weight", nw)
+	c.Geom.InC = len(keep)
+	return nil
+}
+
+// FilterL1Norms returns the ℓ1 norm of each output filter, the importance
+// measure dataflow-aware pruning sorts on.
+func (c *Conv2D) FilterL1Norms() []float64 {
+	k := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	norms := make([]float64, c.OutC)
+	d := c.Weight.Value.Data()
+	for o := 0; o < c.OutC; o++ {
+		var s float64
+		for _, v := range d[o*k : (o+1)*k] {
+			s += math.Abs(float64(v))
+		}
+		norms[o] = s
+	}
+	return norms
+}
+
+// keepIndices validates remove (strictly ascending, in range, not removing
+// everything) and returns the complement.
+func keepIndices(n int, remove []int) ([]int, error) {
+	if len(remove) >= n {
+		return nil, fmt.Errorf("cannot remove %d of %d channels", len(remove), n)
+	}
+	prev := -1
+	rm := make(map[int]bool, len(remove))
+	for _, r := range remove {
+		if r <= prev {
+			return nil, fmt.Errorf("remove indices must be strictly ascending, got %v", remove)
+		}
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("remove index %d out of range [0,%d)", r, n)
+		}
+		prev = r
+		rm[r] = true
+	}
+	keep := make([]int, 0, n-len(remove))
+	for i := 0; i < n; i++ {
+		if !rm[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep, nil
+}

@@ -1,0 +1,164 @@
+// Package nn implements the quantized convolutional network engine that the
+// rest of the repository builds on: layers with forward and backward passes
+// (convolution, max-pooling, dense, per-channel affine, quantized
+// activations), a sequential network container, and the softmax
+// cross-entropy loss.
+//
+// The engine processes one sample at a time (batching is a loop in
+// internal/train); layers cache forward state for the following backward
+// call, so a network must not be shared between goroutines without external
+// synchronization.
+//
+// Quantization follows FINN/Brevitas conventions: weights are
+// fake-quantized on the forward pass with straight-through gradients, and
+// activations are quantized by internal/quant's multi-threshold-equivalent
+// quantizers. The per-channel affine layer (ScaleShift) models batch
+// normalization after folding, which is how FINN absorbs BN into its
+// threshold ladders.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a learnable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter and a zeroed gradient of the same shape.
+func newParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one stage of a sequential network.
+type Layer interface {
+	// Name returns a stable human-readable identifier.
+	Name() string
+	// Forward computes the layer output. When train is true the layer
+	// caches whatever it needs for Backward.
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
+	// Backward consumes the gradient w.r.t. the layer output and returns
+	// the gradient w.r.t. the layer input, accumulating parameter
+	// gradients along the way. It must be preceded by Forward(train=true).
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the layer's learnable parameters (possibly none).
+	Params() []*Param
+}
+
+// Network is an ordered sequence of layers.
+type Network struct {
+	Layers []*NamedLayer
+}
+
+// NamedLayer pairs a layer with its position, giving stable identities for
+// pruning and dataflow mapping.
+type NamedLayer struct {
+	Index int
+	Layer Layer
+}
+
+// NewNetwork builds a network from layers in order.
+func NewNetwork(layers ...Layer) *Network {
+	n := &Network{}
+	for _, l := range layers {
+		n.Append(l)
+	}
+	return n
+}
+
+// Append adds a layer at the end.
+func (n *Network) Append(l Layer) {
+	n.Layers = append(n.Layers, &NamedLayer{Index: len(n.Layers), Layer: l})
+}
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	cur := x
+	for _, nl := range n.Layers {
+		out, err := nl.Layer.Forward(cur, train)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", nl.Index, nl.Layer.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Backward runs all layers in reverse, starting from the loss gradient.
+func (n *Network) Backward(grad *tensor.Tensor) error {
+	cur := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		nl := n.Layers[i]
+		g, err := nl.Layer.Backward(cur)
+		if err != nil {
+			return fmt.Errorf("nn: backward layer %d (%s): %w", nl.Index, nl.Layer.Name(), err)
+		}
+		cur = g
+	}
+	return nil
+}
+
+// Params returns every learnable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, nl := range n.Layers {
+		ps = append(ps, nl.Layer.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Predict runs inference and returns the argmax class of the final output.
+func (n *Network) Predict(x *tensor.Tensor) (int, error) {
+	out, err := n.Forward(x, false)
+	if err != nil {
+		return 0, err
+	}
+	return out.ArgMax(), nil
+}
+
+// ParamCount returns the total number of learnable scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// Convs returns the network's convolution layers in order. Pruning and the
+// dataflow mapper both key off this list.
+func (n *Network) Convs() []*Conv2D {
+	var cs []*Conv2D
+	for _, nl := range n.Layers {
+		if c, ok := nl.Layer.(*Conv2D); ok {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// Denses returns the network's dense layers in order.
+func (n *Network) Denses() []*Dense {
+	var ds []*Dense
+	for _, nl := range n.Layers {
+		if d, ok := nl.Layer.(*Dense); ok {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}

@@ -1,0 +1,130 @@
+// Package plot renders small ASCII line charts for terminal output — the
+// closest thing to the paper's figures an offline CLI can print. It is
+// deliberately tiny: uniform x-sampling, shared y-axis, one rune per
+// series.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64 // sampled uniformly over the x-range
+	Rune rune
+}
+
+// Config sizes the chart.
+type Config struct {
+	Title  string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 12)
+	YLabel string
+	XLabel string
+	// YMin/YMax fix the scale; both zero = auto.
+	YMin, YMax float64
+}
+
+// Lines renders the series into w.
+func Lines(w io.Writer, cfg Config, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width := cfg.Width
+	if width <= 0 {
+		width = 60
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 12
+	}
+	ymin, ymax := cfg.YMin, cfg.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Y {
+				if v < ymin {
+					ymin = v
+				}
+				if v > ymax {
+					ymax = v
+				}
+			}
+		}
+	}
+	if !(ymax > ymin) {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		if len(s.Y) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		r := s.Rune
+		if r == 0 {
+			r = '*'
+		}
+		for col := 0; col < width; col++ {
+			// Nearest sample for this column.
+			idx := col * (len(s.Y) - 1) / max(1, width-1)
+			v := s.Y[idx]
+			frac := (v - ymin) / (ymax - ymin)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			grid[row][col] = r
+		}
+	}
+
+	if cfg.Title != "" {
+		fmt.Fprintln(w, cfg.Title)
+	}
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	if cfg.XLabel != "" {
+		fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 9), cfg.XLabel)
+	}
+	var legend []string
+	for _, s := range series {
+		r := s.Rune
+		if r == 0 {
+			r = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", r, s.Name))
+	}
+	fmt.Fprintf(w, "%s  [%s]", strings.Repeat(" ", 9), strings.Join(legend, " "))
+	if cfg.YLabel != "" {
+		fmt.Fprintf(w, " y: %s", cfg.YLabel)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

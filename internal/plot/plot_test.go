@@ -1,0 +1,75 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lines(&buf, Config{Title: "t", Width: 20, Height: 5, YLabel: "loss %"}, []Series{
+		{Name: "up", Y: []float64{0, 1, 2, 3, 4}, Rune: '#'},
+		{Name: "flat", Y: []float64{2, 2, 2, 2, 2}, Rune: '.'},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "#=up") || !strings.Contains(out, ".=flat") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "4.0") || !strings.Contains(out, "0.0") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+	// The rising series must hit the top row at the right edge and the
+	// bottom row at the left edge.
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.HasSuffix(strings.TrimRight(rows[0], "| "), "#") {
+		t.Fatalf("top row does not end with '#': %q", rows[0])
+	}
+	if !strings.HasPrefix(rows[4], "#") {
+		t.Fatalf("bottom row does not start with '#': %q", rows[4])
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	if err := Lines(&bytes.Buffer{}, Config{}, nil); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Lines(&bytes.Buffer{}, Config{}, []Series{{Name: "e"}}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestLinesFixedScaleClamps(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lines(&buf, Config{Width: 10, Height: 4, YMin: 0, YMax: 10}, []Series{
+		{Name: "wild", Y: []float64{-5, 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10.0") {
+		t.Fatal("fixed scale ignored")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, Config{Width: 8, Height: 3}, []Series{{Name: "c", Y: []float64{7, 7}}}); err != nil {
+		t.Fatal(err)
+	}
+}

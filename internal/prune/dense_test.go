@@ -1,0 +1,139 @@
+package prune
+
+import (
+	"testing"
+
+	"repro/internal/finn"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func tinyMLP(t *testing.T) *model.Model {
+	t.Helper()
+	m, err := model.BuildMLP(model.Config{
+		Name: "mlp", Dataset: "tiny-syn", WBits: 2, ABits: 2,
+		InC: 3, InH: 8, InW: 8, Classes: 4,
+		DenseSizes: []int{32, 16}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlanNeuronsValidation(t *testing.T) {
+	m := tinyMLP(t)
+	if _, err := PlanNeurons(m, -0.1, []int{1, 1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := PlanNeurons(m, 0.5, []int{1}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := PlanNeurons(m, 0.5, []int{0, 1}); err == nil {
+		t.Fatal("zero granularity accepted")
+	}
+}
+
+func TestShrinkDenseHalvesHidden(t *testing.T) {
+	m := tinyMLP(t)
+	pruned, p, err := ShrinkDense(m, 0.5, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Widths[0] != 16 || p.Widths[1] != 8 {
+		t.Fatalf("widths = %v", p.Widths)
+	}
+	denses := pruned.Net.Denses()
+	if denses[0].Out != 16 || denses[1].Out != 8 {
+		t.Fatalf("pruned outs = %d/%d", denses[0].Out, denses[1].Out)
+	}
+	if denses[2].Out != 4 {
+		t.Fatal("head pruned")
+	}
+	if denses[1].In != 16 || denses[2].In != 8 {
+		t.Fatalf("consumer inputs %d/%d", denses[1].In, denses[2].In)
+	}
+	// Still runs end to end.
+	out, err := pruned.Net.Forward(tensor.New(3, 8, 8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("out = %d", out.Len())
+	}
+	// Original untouched.
+	if m.Net.Denses()[0].Out != 32 {
+		t.Fatal("original mutated")
+	}
+}
+
+// TestDenseGranularityRespected: widths honor the folding constraints and
+// the pruned MLP still maps to a dataflow.
+func TestDenseGranularityRespected(t *testing.T) {
+	m := tinyMLP(t)
+	fold := finn.DefaultFolding(m)
+	gs, err := fold.DenseGranularity(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("granularity entries = %d", len(gs))
+	}
+	pruned, p, err := ShrinkDense(m, 0.4, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wdt := range p.Widths {
+		if wdt%gs[i] != 0 {
+			t.Fatalf("width %d not multiple of %d", wdt, gs[i])
+		}
+	}
+	prFold := finn.DefaultFolding(pruned)
+	df, err := finn.Map(pruned, prFold, finn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := finn.Map(m, fold, finn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.FPS() < base.FPS() {
+		t.Fatalf("neuron-pruned MLP slower: %.0f vs %.0f", df.FPS(), base.FPS())
+	}
+}
+
+func TestMLPDataflowHasNoSWU(t *testing.T) {
+	m := tinyMLP(t)
+	df, err := finn.Map(m, finn.DefaultFolding(m), finn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range df.Modules {
+		if mod.Kind == finn.KindSWU || mod.Kind == finn.KindMVTUConv || mod.Kind == finn.KindMaxPool {
+			t.Fatalf("MLP dataflow contains %v", mod.Kind)
+		}
+	}
+	if df.FPS() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestTFCBuilds(t *testing.T) {
+	m, err := model.TFC("mnist-syn", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Net.Denses()) != 4 || len(m.Net.Convs()) != 0 {
+		t.Fatalf("TFC topology wrong: %d denses %d convs", len(m.Net.Denses()), len(m.Net.Convs()))
+	}
+	out, err := m.Net.Forward(tensor.New(1, 28, 28), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("out = %d", out.Len())
+	}
+	if _, err := model.BuildMLP(model.Config{Name: "x", Classes: 4, InC: 1, InH: 4, InW: 4}); err == nil {
+		t.Fatal("MLP without dense layers accepted")
+	}
+}

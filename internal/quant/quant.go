@@ -1,0 +1,288 @@
+// Package quant implements the quantization machinery used by FINN-style
+// quantized CNNs: uniform signed weight quantizers (the W1/W2 in model names
+// such as CNVW2A2) and multi-threshold activation units (the A2), plus the
+// straight-through estimators quantization-aware training relies on.
+//
+// FINN networks never compute a float activation at inference time; instead
+// each layer's accumulator is compared against a ladder of thresholds and
+// the activation is the count of thresholds crossed. Package quant provides
+// both the training-time view (fake-quantized floats) and the
+// threshold-ladder view consumed by internal/finn.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightQuantizer maps float weights onto a signed uniform grid with the
+// given bit width, symmetric around zero. Bits must be ≥ 1; Bits == 1 means
+// binary weights {-scale, +scale} as in FINN's W1 networks.
+type WeightQuantizer struct {
+	Bits  int
+	Scale float32 // grid step; must be > 0
+}
+
+// NewWeightQuantizer returns a quantizer with the given bit width and a
+// scale chosen so the grid spans roughly [-1, 1].
+func NewWeightQuantizer(bits int) (*WeightQuantizer, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quant: weight bit width %d out of range [1,16]", bits)
+	}
+	levels := wLevels(bits)
+	return &WeightQuantizer{Bits: bits, Scale: 1 / float32(levels)}, nil
+}
+
+// wLevels returns the number of positive levels of a signed grid of the
+// given width: 1-bit → 1 (±1), 2-bit → 1 (±1, 0? — see below), n-bit →
+// 2^(n-1)-1 positive levels. For 1-bit there is no zero level.
+func wLevels(bits int) int {
+	if bits == 1 {
+		return 1
+	}
+	return (1 << (bits - 1)) - 1
+}
+
+// Levels returns the number of positive levels in the grid.
+func (q *WeightQuantizer) Levels() int { return wLevels(q.Bits) }
+
+// Quantize returns the nearest grid value to w. For 1-bit, the result is
+// sign(w)·scale (zero maps to +scale, matching Brevitas binary weights).
+func (q *WeightQuantizer) Quantize(w float32) float32 {
+	if q.Bits == 1 {
+		if w < 0 {
+			return -q.Scale
+		}
+		return q.Scale
+	}
+	levels := float32(q.Levels())
+	v := w / q.Scale
+	r := float32(math.Round(float64(v)))
+	if r > levels {
+		r = levels
+	}
+	if r < -levels {
+		r = -levels
+	}
+	return r * q.Scale
+}
+
+// QuantizeSlice quantizes in place and returns its argument for chaining.
+func (q *WeightQuantizer) QuantizeSlice(ws []float32) []float32 {
+	for i, w := range ws {
+		ws[i] = q.Quantize(w)
+	}
+	return ws
+}
+
+// QuantizeInto writes the quantized values of src into dst (which may alias
+// src). It reports an error on length mismatch.
+func (q *WeightQuantizer) QuantizeInto(dst, src []float32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("quant: QuantizeInto length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i, w := range src {
+		dst[i] = q.Quantize(w)
+	}
+	return nil
+}
+
+// TensorScale returns the adaptive per-tensor grid step used by
+// QuantizeTensor, derived from the weight statistics the way
+// quantization-aware training frameworks do: binary weights use the mean
+// magnitude (XNOR-style), low-bit grids use a mean-based step so the grid
+// is actually occupied, and wider grids use max|w|/levels. A zero tensor
+// falls back to the fixed Scale.
+func (q *WeightQuantizer) TensorScale(ws []float32) float32 {
+	var sumAbs float64
+	var maxAbs float64
+	for _, w := range ws {
+		a := math.Abs(float64(w))
+		sumAbs += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || len(ws) == 0 {
+		return q.Scale
+	}
+	mean := sumAbs / float64(len(ws))
+	switch {
+	case q.Bits == 1:
+		return float32(mean)
+	case q.Bits <= 3:
+		// Low-bit: a step of ~1.5x mean keeps a healthy fraction of
+		// weights off zero without saturating everything.
+		return float32(1.5 * mean)
+	default:
+		return float32(maxAbs) / float32(q.Levels())
+	}
+}
+
+// quantizeWith rounds w onto the grid with the given step.
+func (q *WeightQuantizer) quantizeWith(w, scale float32) float32 {
+	if q.Bits == 1 {
+		if w < 0 {
+			return -scale
+		}
+		return scale
+	}
+	levels := float32(q.Levels())
+	r := float32(math.Round(float64(w / scale)))
+	if r > levels {
+		r = levels
+	}
+	if r < -levels {
+		r = -levels
+	}
+	return r * scale
+}
+
+// QuantizeTensor writes the adaptively-scaled quantization of src into dst
+// (which may alias src) and returns the scale used. This is the forward
+// path quantization used by internal/nn layers.
+func (q *WeightQuantizer) QuantizeTensor(dst, src []float32) (float32, error) {
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("quant: QuantizeTensor length mismatch %d vs %d", len(dst), len(src))
+	}
+	scale := q.TensorScale(src)
+	for i, w := range src {
+		dst[i] = q.quantizeWith(w, scale)
+	}
+	return scale, nil
+}
+
+// QuantizeTensorPerChannel quantizes src row-wise: src is a matrix of
+// rows×rowLen values (one row per output channel/filter), each row getting
+// its own adaptive scale — FINN's per-channel weight scaling, which
+// tolerates filters of very different magnitudes. It returns the per-row
+// scales.
+func (q *WeightQuantizer) QuantizeTensorPerChannel(dst, src []float32, rowLen int) ([]float32, error) {
+	if len(dst) != len(src) {
+		return nil, fmt.Errorf("quant: QuantizeTensorPerChannel length mismatch %d vs %d", len(dst), len(src))
+	}
+	if rowLen <= 0 || len(src)%rowLen != 0 {
+		return nil, fmt.Errorf("quant: row length %d does not divide %d values", rowLen, len(src))
+	}
+	rows := len(src) / rowLen
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := src[r*rowLen : (r+1)*rowLen]
+		scale := q.TensorScale(row)
+		scales[r] = scale
+		for i, w := range row {
+			dst[r*rowLen+i] = q.quantizeWith(w, scale)
+		}
+	}
+	return scales, nil
+}
+
+// STEGrad implements the straight-through estimator: the gradient passes
+// unchanged where |w| does not exceed the grid range and is clipped to zero
+// outside, which keeps saturated weights from drifting further.
+func (q *WeightQuantizer) STEGrad(w, grad float32) float32 {
+	limit := q.Scale * float32(q.Levels())
+	if q.Bits == 1 {
+		limit = 1 // binary weights clip at ±1 like Brevitas' binary STE
+	}
+	if w > limit || w < -limit {
+		return 0
+	}
+	return grad
+}
+
+// ActQuantizer is a uniform unsigned activation quantizer with the given
+// bit width over [0, Max]; A2 in CNVW2A2 means Bits == 2 (levels 0..3).
+type ActQuantizer struct {
+	Bits int
+	Max  float32 // upper clip value; must be > 0
+}
+
+// NewActQuantizer returns an activation quantizer with range [0, max].
+func NewActQuantizer(bits int, max float32) (*ActQuantizer, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quant: activation bit width %d out of range [1,16]", bits)
+	}
+	if !(max > 0) {
+		return nil, fmt.Errorf("quant: activation max %v must be positive", max)
+	}
+	return &ActQuantizer{Bits: bits, Max: max}, nil
+}
+
+// Levels returns the number of representable activation values (2^bits).
+func (q *ActQuantizer) Levels() int { return 1 << q.Bits }
+
+// Step returns the quantization step between adjacent levels.
+func (q *ActQuantizer) Step() float32 { return q.Max / float32(q.Levels()-1) }
+
+// Quantize clips x to [0, Max] and rounds to the nearest level.
+func (q *ActQuantizer) Quantize(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= q.Max {
+		return q.Max
+	}
+	step := q.Step()
+	return step * float32(math.Round(float64(x/step)))
+}
+
+// Code returns the integer level index (0..Levels-1) for x. This is the
+// value that travels on FINN streams.
+func (q *ActQuantizer) Code(x float32) int {
+	if x <= 0 {
+		return 0
+	}
+	if x >= q.Max {
+		return q.Levels() - 1
+	}
+	return int(math.Round(float64(x / q.Step())))
+}
+
+// STEGrad passes the gradient through inside (0, Max) and clips outside,
+// the standard clipped-ReLU straight-through estimator.
+func (q *ActQuantizer) STEGrad(x, grad float32) float32 {
+	if x < 0 || x > q.Max {
+		return 0
+	}
+	return grad
+}
+
+// Thresholds materializes the multi-threshold ladder equivalent to this
+// quantizer: Levels-1 ascending values t_k such that Code(x) equals the
+// number of thresholds with x > t_k. FINN's MVTU applies exactly this
+// comparison to its accumulators.
+func (q *ActQuantizer) Thresholds() []float32 {
+	n := q.Levels() - 1
+	out := make([]float32, n)
+	step := q.Step()
+	for k := 0; k < n; k++ {
+		// Midpoint between level k and k+1: crossing it rounds up.
+		out[k] = step * (float32(k) + 0.5)
+	}
+	return out
+}
+
+// ApplyThresholds counts how many thresholds x strictly exceeds. For a
+// ladder built by Thresholds this equals Code(x) except exactly at
+// midpoints, where rounding direction differs by at most one level.
+func ApplyThresholds(x float32, thresholds []float32) int {
+	n := 0
+	for _, t := range thresholds {
+		if x > t {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidateLadder reports an error unless thresholds are strictly ascending.
+func ValidateLadder(thresholds []float32) error {
+	for i := 1; i < len(thresholds); i++ {
+		if !(thresholds[i] > thresholds[i-1]) {
+			return fmt.Errorf("quant: threshold ladder not strictly ascending at %d (%v ≥ %v)",
+				i, thresholds[i-1], thresholds[i])
+		}
+	}
+	return nil
+}

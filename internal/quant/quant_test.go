@@ -1,0 +1,280 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWeightQuantizerValidation(t *testing.T) {
+	for _, bits := range []int{0, -1, 17} {
+		if _, err := NewWeightQuantizer(bits); err == nil {
+			t.Errorf("bits=%d accepted", bits)
+		}
+	}
+	q, err := NewWeightQuantizer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Levels() != 1 {
+		t.Fatalf("2-bit levels = %d, want 1", q.Levels())
+	}
+	q8, _ := NewWeightQuantizer(8)
+	if q8.Levels() != 127 {
+		t.Fatalf("8-bit levels = %d, want 127", q8.Levels())
+	}
+}
+
+func TestBinaryWeightQuantize(t *testing.T) {
+	q, _ := NewWeightQuantizer(1)
+	if q.Quantize(0.3) != q.Scale || q.Quantize(-0.3) != -q.Scale {
+		t.Fatal("binary quantize sign wrong")
+	}
+	if q.Quantize(0) != q.Scale {
+		t.Fatal("binary quantize of zero should be +scale")
+	}
+}
+
+func TestWeightQuantizeClips(t *testing.T) {
+	q, _ := NewWeightQuantizer(2)
+	limit := q.Scale * float32(q.Levels())
+	if got := q.Quantize(100); got != limit {
+		t.Fatalf("positive clip = %v, want %v", got, limit)
+	}
+	if got := q.Quantize(-100); got != -limit {
+		t.Fatalf("negative clip = %v, want %v", got, -limit)
+	}
+}
+
+// Property: quantization error is bounded by half a step inside the grid
+// range, and the result is always a grid point.
+func TestWeightQuantizeErrorBoundQuick(t *testing.T) {
+	q, _ := NewWeightQuantizer(4)
+	limit := float64(q.Scale) * float64(q.Levels())
+	f := func(w float32) bool {
+		if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+			return true
+		}
+		got := float64(q.Quantize(w))
+		// Always on grid:
+		ratio := got / float64(q.Scale)
+		if math.Abs(ratio-math.Round(ratio)) > 1e-5 {
+			return false
+		}
+		if math.Abs(float64(w)) <= limit {
+			return math.Abs(got-float64(w)) <= float64(q.Scale)/2+1e-6
+		}
+		return math.Abs(got) <= limit+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bits := range []int{1, 2, 3, 8} {
+		q, _ := NewWeightQuantizer(bits)
+		for i := 0; i < 100; i++ {
+			w := rng.Float32()*4 - 2
+			once := q.Quantize(w)
+			twice := q.Quantize(once)
+			if once != twice {
+				t.Fatalf("bits=%d: quantize not idempotent: %v -> %v -> %v", bits, w, once, twice)
+			}
+		}
+	}
+}
+
+func TestQuantizeSliceAndInto(t *testing.T) {
+	q, _ := NewWeightQuantizer(2)
+	ws := []float32{0.9, -0.9, 0.1}
+	q.QuantizeSlice(ws)
+	for _, w := range ws {
+		if q.Quantize(w) != w {
+			t.Fatalf("slice element %v not on grid", w)
+		}
+	}
+	dst := make([]float32, 2)
+	if err := q.QuantizeInto(dst, []float32{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	src := []float32{0.7, -0.2}
+	if err := q.QuantizeInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != q.Quantize(0.7) || dst[1] != q.Quantize(-0.2) {
+		t.Fatal("QuantizeInto wrong values")
+	}
+}
+
+// TestPerChannelBeatsPerTensorOnHeterogeneousRows: when filters have very
+// different magnitudes, per-channel scales reconstruct the weights with
+// lower error than one tensor-wide scale.
+func TestPerChannelBeatsPerTensorOnHeterogeneousRows(t *testing.T) {
+	q, _ := NewWeightQuantizer(2)
+	const rowLen = 16
+	src := make([]float32, 3*rowLen)
+	rng := rand.New(rand.NewSource(8))
+	for r, mag := range []float32{0.01, 0.3, 5.0} {
+		for i := 0; i < rowLen; i++ {
+			src[r*rowLen+i] = (rng.Float32()*2 - 1) * mag
+		}
+	}
+	perT := make([]float32, len(src))
+	if _, err := q.QuantizeTensor(perT, src); err != nil {
+		t.Fatal(err)
+	}
+	perC := make([]float32, len(src))
+	scales, err := q.QuantizeTensorPerChannel(perC, src, rowLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scales) != 3 {
+		t.Fatalf("scales = %d", len(scales))
+	}
+	if !(scales[0] < scales[1] && scales[1] < scales[2]) {
+		t.Fatalf("scales not tracking row magnitudes: %v", scales)
+	}
+	mse := func(a []float32) float64 {
+		var s float64
+		for i := range a {
+			d := float64(a[i] - src[i])
+			s += d * d
+		}
+		return s
+	}
+	if mse(perC) >= mse(perT) {
+		t.Fatalf("per-channel MSE %.4g not below per-tensor %.4g", mse(perC), mse(perT))
+	}
+}
+
+func TestQuantizeTensorPerChannelValidation(t *testing.T) {
+	q, _ := NewWeightQuantizer(2)
+	if _, err := q.QuantizeTensorPerChannel(make([]float32, 4), make([]float32, 6), 3); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := q.QuantizeTensorPerChannel(make([]float32, 6), make([]float32, 6), 4); err == nil {
+		t.Fatal("indivisible row length accepted")
+	}
+	if _, err := q.QuantizeTensorPerChannel(make([]float32, 6), make([]float32, 6), 0); err == nil {
+		t.Fatal("zero row length accepted")
+	}
+}
+
+func TestWeightSTEGrad(t *testing.T) {
+	q, _ := NewWeightQuantizer(2)
+	if q.STEGrad(0.1, 2.5) != 2.5 {
+		t.Fatal("in-range gradient altered")
+	}
+	if q.STEGrad(10, 2.5) != 0 || q.STEGrad(-10, 2.5) != 0 {
+		t.Fatal("saturated gradient not clipped")
+	}
+	b, _ := NewWeightQuantizer(1)
+	if b.STEGrad(0.99, 1) != 1 || b.STEGrad(1.5, 1) != 0 {
+		t.Fatal("binary STE clip at ±1 wrong")
+	}
+}
+
+func TestNewActQuantizerValidation(t *testing.T) {
+	if _, err := NewActQuantizer(0, 1); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := NewActQuantizer(2, 0); err == nil {
+		t.Fatal("max=0 accepted")
+	}
+	if _, err := NewActQuantizer(2, -1); err == nil {
+		t.Fatal("negative max accepted")
+	}
+}
+
+func TestActQuantizeA2(t *testing.T) {
+	q, _ := NewActQuantizer(2, 3) // levels 0,1,2,3
+	if q.Levels() != 4 || q.Step() != 1 {
+		t.Fatalf("levels=%d step=%v", q.Levels(), q.Step())
+	}
+	cases := []struct {
+		in   float32
+		want float32
+		code int
+	}{
+		{-5, 0, 0}, {0, 0, 0}, {0.4, 0, 0}, {0.6, 1, 1},
+		{1.4, 1, 1}, {2.6, 3, 3}, {3, 3, 3}, {99, 3, 3},
+	}
+	for _, c := range cases {
+		if got := q.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if got := q.Code(c.in); got != c.code {
+			t.Errorf("Code(%v) = %d, want %d", c.in, got, c.code)
+		}
+	}
+}
+
+func TestActSTEGrad(t *testing.T) {
+	q, _ := NewActQuantizer(2, 3)
+	if q.STEGrad(1.5, 2) != 2 {
+		t.Fatal("in-range act gradient altered")
+	}
+	if q.STEGrad(-0.1, 2) != 0 || q.STEGrad(3.1, 2) != 0 {
+		t.Fatal("clipped act gradient not zero")
+	}
+}
+
+func TestThresholdLadderMatchesCode(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		q, _ := NewActQuantizer(bits, 3)
+		th := q.Thresholds()
+		if len(th) != q.Levels()-1 {
+			t.Fatalf("bits=%d: ladder length %d", bits, len(th))
+		}
+		if err := ValidateLadder(th); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(bits)))
+		for i := 0; i < 500; i++ {
+			x := rng.Float32()*5 - 1
+			code := q.Code(x)
+			cnt := ApplyThresholds(x, th)
+			if code != cnt {
+				// Rounding at exact midpoints may differ by one; anything
+				// else is a real bug.
+				if d := code - cnt; d < -1 || d > 1 {
+					t.Fatalf("bits=%d x=%v: code=%d thresholds=%d", bits, x, code, cnt)
+				}
+			}
+		}
+	}
+}
+
+// Property: ApplyThresholds is monotone non-decreasing in x.
+func TestApplyThresholdsMonotoneQuick(t *testing.T) {
+	q, _ := NewActQuantizer(3, 7)
+	th := q.Thresholds()
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return ApplyThresholds(lo, th) <= ApplyThresholds(hi, th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateLadderRejectsNonAscending(t *testing.T) {
+	if err := ValidateLadder([]float32{1, 1}); err == nil {
+		t.Fatal("flat ladder accepted")
+	}
+	if err := ValidateLadder([]float32{2, 1}); err == nil {
+		t.Fatal("descending ladder accepted")
+	}
+	if err := ValidateLadder(nil); err != nil {
+		t.Fatal("empty ladder rejected")
+	}
+}

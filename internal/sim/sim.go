@@ -1,0 +1,105 @@
+// Package sim provides a small discrete-event simulation kernel: a clock,
+// a stable priority queue of timestamped events, and seeded RNG streams.
+// The edge-server simulation in internal/edge runs on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fn to run at absolute time t. Events at equal times run
+// in scheduling order (FIFO). Scheduling in the past is an error.
+func (e *Engine) Schedule(t float64, fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil event function")
+	}
+	if t < e.now {
+		return fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After enqueues fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events in time order until the queue empties or the clock
+// would pass until. The clock ends at until (or the last event time if
+// earlier events exhausted the queue).
+func (e *Engine) Run(until float64) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.time
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// RNG returns a deterministic random stream derived from a base seed and a
+// stream label, so repeated runs and parallel streams stay independent and
+// reproducible.
+func RNG(seed int64, stream string) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(stream) {
+		h ^= uint64(b)
+		h *= 0x100000001B3
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tt := range times {
+		tt := tt
+		if err := e.Schedule(tt, func() { got = append(got, tt) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(10)
+	if !sort.Float64sAreSorted(got) || len(got) != 5 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(1, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(6)
+	if err := e.Schedule(3, func() {}); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+	if err := e.Schedule(6, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	if err := e.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	if err := e.Schedule(5, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4)
+	if fired {
+		t.Fatal("event beyond until fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run(6)
+	if !fired {
+		t.Fatal("event not fired on resumed run")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			if err := e.After(1, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.Schedule(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100)
+	if count != 5 {
+		t.Fatalf("chain count = %d", count)
+	}
+}
+
+// Property: any batch of randomly-timed events executes in nondecreasing
+// time order.
+func TestOrderingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []float64
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			tt := rng.Float64() * 100
+			if err := e.Schedule(tt, func() { fired = append(fired, tt) }); err != nil {
+				return false
+			}
+		}
+		e.Run(200)
+		return len(fired) == n && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a := RNG(1, "x").Float64()
+	b := RNG(1, "x").Float64()
+	c := RNG(1, "y").Float64()
+	d := RNG(2, "x").Float64()
+	if a != b {
+		t.Fatal("same seed/stream differ")
+	}
+	if a == c || a == d {
+		t.Fatal("streams not independent")
+	}
+}

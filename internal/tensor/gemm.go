@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// Gemm computes C = A·B for row-major matrices. A is (m×k), B is (k×n) and
+// the result is (m×n). It is the workhorse behind convolution via im2col
+// and dense layers. The implementation is a cache-friendly ikj loop; it is
+// not tuned for large matrices, only for the model sizes this repository
+// simulates.
+func Gemm(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Gemm needs rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: Gemm inner dimensions differ: %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// GemmTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), result (m×n).
+// Used by the backward pass of dense layers.
+func GemmTransA(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: GemmTransA needs rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: GemmTransA inner dimensions differ: %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// GemmTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), result (m×n).
+// Used by the backward pass of dense layers.
+func GemmTransB(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: GemmTransB needs rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: GemmTransB inner dimensions differ: %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c, nil
+}

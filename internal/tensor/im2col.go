@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial size
+	KH, KW        int // kernel size
+	StrideH       int
+	StrideW       int
+	PadH          int
+	PadW          int
+}
+
+// OutH returns the output height of the window sweep.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width of the window sweep.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Validate reports whether the geometry describes at least one valid window
+// position with positive sizes and strides.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input %dx%dx%d", g.InC, g.InH, g.InW)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel %dx%d", g.KH, g.KW)
+	case g.StrideH <= 0 || g.StrideW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %dx%d", g.StrideH, g.StrideW)
+	case g.PadH < 0 || g.PadW < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %dx%d", g.PadH, g.PadW)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry yields empty output %dx%d", g.OutH(), g.OutW())
+	}
+	return nil
+}
+
+// Im2Col lowers a CHW input into a matrix of shape
+// (InC·KH·KW) × (OutH·OutW): each column holds one receptive field. This is
+// the software analogue of FINN's Sliding Window Unit (SWU), which streams
+// exactly these windows into the MVTU.
+func Im2Col(in *Tensor, g ConvGeom) (*Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Rank() != 3 || in.shape[0] != g.InC || in.shape[1] != g.InH || in.shape[2] != g.InW {
+		return nil, fmt.Errorf("tensor: Im2Col input %v does not match geometry %dx%dx%d", in.shape, g.InC, g.InH, g.InW)
+	}
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := oh * ow
+	out := New(rows, cols)
+	od := out.data
+	id := in.data
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				r := (c*g.KH+kh)*g.KW + kw
+				rowBase := r * cols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						od[rowBase+oy*ow+ox] = id[(c*g.InH+iy)*g.InW+ix]
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (InC·KH·KW)×(OutH·OutW)
+// matrix of per-window gradients back onto a CHW tensor, summing where
+// windows overlap. Used by the convolution backward pass.
+func Col2Im(cols *Tensor, g ConvGeom) (*Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	oh, ow := g.OutH(), g.OutW()
+	wantRows := g.InC * g.KH * g.KW
+	wantCols := oh * ow
+	if cols.Rank() != 2 || cols.shape[0] != wantRows || cols.shape[1] != wantCols {
+		return nil, fmt.Errorf("tensor: Col2Im input %v does not match geometry (want %dx%d)", cols.shape, wantRows, wantCols)
+	}
+	out := New(g.InC, g.InH, g.InW)
+	od := out.data
+	cd := cols.data
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				r := (c*g.KH+kh)*g.KW + kw
+				rowBase := r * wantCols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						od[(c*g.InH+iy)*g.InW+ix] += cd[rowBase+oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

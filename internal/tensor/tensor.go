@@ -1,0 +1,242 @@
+// Package tensor provides dense numeric tensors in NCHW layout plus the
+// small set of linear-algebra helpers (im2col, GEMM, reductions) that the
+// CNN inference and training engine in internal/nn is built on.
+//
+// Tensors are deliberately simple: a flat []float32 backing store and a
+// shape. All layout conventions follow the rest of the repository: image
+// tensors are CHW (channels, height, width) per sample, weight tensors for
+// convolutions are OIHW (outChannels, inChannels, kernelH, kernelW).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 tensor. The zero value is an empty tensor.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative; a tensor with zero dimensions is a scalar holding
+// one element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape volume.
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("tensor: negative dimension %d in shape %v", d, shape)
+		}
+		n *= d
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}, nil
+}
+
+// MustFromSlice is FromSlice but panics on error. Intended for tests and
+// literals where the shape is statically correct.
+func MustFromSlice(data []float32, shape ...int) *Tensor {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The caller must not modify the
+// returned slice.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice in row-major order. Mutations are visible
+// to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+// The new shape must have the same volume.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("tensor: cannot reshape volume %d to %v", len(t.data), shape)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}, nil
+}
+
+// index converts multi-indices to a flat offset. Callers guarantee the
+// number of indices matches the rank.
+func (t *Tensor) index(idx ...int) int {
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.index(idx...)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.index(idx...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled adds s*o to t element-wise in place. Shapes must match in
+// volume; layout is the caller's responsibility.
+func (t *Tensor) AddScaled(o *Tensor, s float32) error {
+	if len(o.data) != len(t.data) {
+		return fmt.Errorf("tensor: AddScaled volume mismatch %d vs %d", len(t.data), len(o.data))
+	}
+	for i := range t.data {
+		t.data[i] += s * o.data[i]
+	}
+	return nil
+}
+
+// Add adds o to t element-wise in place.
+func (t *Tensor) Add(o *Tensor) error { return t.AddScaled(o, 1) }
+
+// Equal reports whether two tensors have identical shape and elements.
+func Equal(a, b *Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether two tensors have identical shape and all elements
+// within tol of each other.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(float64(a.data[i])-float64(b.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the ℓ1 norm of all elements. This is the filter-importance
+// measure used by dataflow-aware pruning (Li et al., ICLR'17).
+func (t *Tensor) AbsSum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// Max returns the maximum element, or -Inf for an empty tensor.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element (first on ties), or
+// -1 for an empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		return -1
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}

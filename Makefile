@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test race bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that exercise the tensor worker
+# pool concurrently.
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Everything CI would check: gofmt, vet, build, tests, race detector.
+verify:
+	./scripts/verify.sh

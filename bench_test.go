@@ -8,6 +8,7 @@ package adaflow
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"repro/internal/dataset"
@@ -17,7 +18,9 @@ import (
 	"repro/internal/finn"
 	"repro/internal/library"
 	"repro/internal/model"
+	"repro/internal/nn"
 	"repro/internal/prune"
+	"repro/internal/quant"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -321,6 +324,92 @@ func BenchmarkGemm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tensor.Gemm(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGemmSizes compares the serial fast path against the pooled
+// parallel path on small/medium/large square GEMMs, writing into reused
+// scratch so allocs/op shows the zero-allocation steady state.
+func BenchmarkGemmSizes(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		dim  int
+	}{{"small-32", 32}, {"medium-128", 128}, {"large-384", 384}} {
+		a := tensor.New(size.dim, size.dim)
+		c := tensor.New(size.dim, size.dim)
+		for i := range a.Data() {
+			a.Data()[i] = float32(i%13)*0.1 - 0.5
+			c.Data()[i] = float32(i%7)*0.2 - 0.5
+		}
+		dst := tensor.New(size.dim, size.dim)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} { // 0 resets the cap to NumCPU
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				prev := tensor.SetMaxWorkers(mode.workers)
+				defer tensor.SetMaxWorkers(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := tensor.GemmInto(dst, a, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIm2Col measures the sliding-window lowering (the software SWU)
+// on the first-conv geometry of the paper's CNV, into reused scratch.
+func BenchmarkIm2Col(b *testing.B) {
+	g := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := tensor.New(3, 32, 32)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%11) * 0.1
+	}
+	dst := tensor.Borrow(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	defer tensor.Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.Im2ColInto(dst, in, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvForward measures one quantized convolution inference pass —
+// the per-image hot path of accuracy sweeps — where the EffectiveWeights
+// cache and the pooled im2col scratch keep steady-state allocations to the
+// output tensor alone.
+func BenchmarkConvForward(b *testing.B) {
+	q, err := quant.NewWeightQuantizer(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv, err := nn.NewConv2D(nn.ConvConfig{
+		ID: "bench",
+		Geom: tensor.ConvGeom{
+			InC: 64, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		},
+		OutC: 64, Bias: true, WQuant: q,
+		InitRNG: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(64, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%9)*0.25 - 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Forward(x, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/accuracy"
 	"repro/internal/library"
 	"repro/internal/model"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -24,7 +26,15 @@ func main() {
 	modelName := flag.String("model", "CNVW2A2", "initial CNN model (CNVW2A2 or CNVW1A2)")
 	ds := flag.String("dataset", "cifar10", "dataset (cifar10 or gtsrb)")
 	saveTable := flag.String("save-table", "", "write the library table as JSON to this file")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the tensor compute core and model evaluation")
 	flag.Parse()
+	if *workers < 1 {
+		log.Fatalf("-workers must be >= 1, got %d", *workers)
+	}
+	// Size the parallel GEMM/im2col pool; trained evaluators additionally
+	// fan test-set evaluation out over the same number of goroutines (see
+	// train.ParallelEvaluate).
+	tensor.SetMaxWorkers(*workers)
 
 	classes := 10
 	if *ds == "gtsrb" {

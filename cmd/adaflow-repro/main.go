@@ -16,8 +16,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 // csvWriter is implemented by the exportable results.
@@ -33,10 +35,15 @@ func main() {
 	runs := flag.Int("runs", 100, "simulation repetitions (the paper averages 100)")
 	seed := flag.Int64("seed", 1, "base seed")
 	format := flag.String("format", "text", "text or csv")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the tensor compute core and model evaluation")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		log.Fatalf("unknown format %q", *format)
 	}
+	if *workers < 1 {
+		log.Fatalf("-workers must be >= 1, got %d", *workers)
+	}
+	tensor.SetMaxWorkers(*workers)
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	did := false

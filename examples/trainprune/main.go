@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"runtime"
 
 	adaflow "repro"
 	"repro/internal/accuracy"
@@ -27,9 +28,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Initial training.
+	// Initial training; evaluation fans out over all cores (predictions
+	// are exact, only wall-clock changes).
+	workers := runtime.NumCPU()
 	opts := adaflow.DefaultTrainOptions()
 	opts.Epochs = 3
+	opts.EvalWorkers = workers
 	tr, err := train.New(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -51,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, err := train.Evaluate(pruned, ds)
+	before, err := train.ParallelEvaluate(pruned, ds, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	accBack, err := train.Evaluate(back, ds)
+	accBack, err := train.ParallelEvaluate(back, ds, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -207,12 +207,14 @@ func Decode(r io.Reader) (*model.Model, error) {
 				return nil, err
 			}
 			copy(c.Weight.Value.Data(), w.Data())
+			c.Weight.BumpVersion()
 			if lj.Bias != "" {
 				b, err := unpackTensor(lj.Bias, lj.OutC)
 				if err != nil {
 					return nil, err
 				}
 				copy(c.Bias.Value.Data(), b.Data())
+				c.Bias.BumpVersion()
 			}
 			net.Append(c)
 		case "dense":
@@ -229,12 +231,14 @@ func Decode(r io.Reader) (*model.Model, error) {
 				return nil, err
 			}
 			copy(d.Weight.Value.Data(), w.Data())
+			d.Weight.BumpVersion()
 			if lj.Bias != "" {
 				b, err := unpackTensor(lj.Bias, lj.Out)
 				if err != nil {
 					return nil, err
 				}
 				copy(d.Bias.Value.Data(), b.Data())
+				d.Bias.BumpVersion()
 			}
 			net.Append(d)
 		case "maxpool":

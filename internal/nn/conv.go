@@ -26,9 +26,18 @@ type Conv2D struct {
 	PerChannel bool
 
 	// forward cache
-	cols   *tensor.Tensor // im2col of last input
+	cols   *tensor.Tensor // im2col of last input (borrowed scratch)
 	qw     *tensor.Tensor // quantized weight matrix (OutC, InC*KH*KW)
 	inGeom tensor.ConvGeom
+
+	// EffectiveWeights cache, keyed on the weight Param's identity and
+	// version so inference-only workloads stop re-quantizing identical
+	// weights every image. quantRuns counts actual quantizer passes (for
+	// the regression test guarding the cache).
+	effW        *tensor.Tensor
+	effWOf      *Param
+	effWVersion uint64
+	quantRuns   int
 }
 
 // ConvConfig collects Conv2D construction options.
@@ -81,7 +90,10 @@ func (c *Conv2D) Params() []*Param {
 // EffectiveWeights returns the weights as they enter the compute: the
 // (OutC, InC·KH·KW) matrix after fake quantization (per-channel when
 // configured), or the raw weights for float layers. The dataflow compiler
-// consumes exactly this view.
+// consumes exactly this view. For quantized layers the result is cached
+// until the weight Param's version changes (see Param.BumpVersion), so
+// repeated inference does not re-quantize; callers must treat the returned
+// tensor as read-only.
 func (c *Conv2D) EffectiveWeights() (*tensor.Tensor, error) {
 	k := c.Geom.InC * c.Geom.KH * c.Geom.KW
 	wm, err := c.Weight.Value.Reshape(c.OutC, k)
@@ -91,35 +103,44 @@ func (c *Conv2D) EffectiveWeights() (*tensor.Tensor, error) {
 	if c.Quant == nil {
 		return wm, nil
 	}
+	if c.effW != nil && c.effWOf == c.Weight && c.effWVersion == c.Weight.Version() {
+		return c.effW, nil
+	}
+	version := c.Weight.Version()
 	q := tensor.New(c.OutC, k)
 	if c.PerChannel {
 		if _, err := c.Quant.QuantizeTensorPerChannel(q.Data(), wm.Data(), k); err != nil {
 			return nil, err
 		}
-		return q, nil
-	}
-	if _, err := c.Quant.QuantizeTensor(q.Data(), wm.Data()); err != nil {
+	} else if _, err := c.Quant.QuantizeTensor(q.Data(), wm.Data()); err != nil {
 		return nil, err
 	}
+	c.quantRuns++
+	c.effW, c.effWOf, c.effWVersion = q, c.Weight, version
 	return q, nil
 }
 
 // Forward implements Layer. Input is CHW; output is (OutC, OutH, OutW).
+// The im2col matrix lives in borrowed scratch: inference returns it to the
+// arena before Forward exits, training keeps it until Backward finishes.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	cols, err := tensor.Im2Col(x, c.Geom)
-	if err != nil {
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	cols := tensor.Borrow(c.Geom.InC*c.Geom.KH*c.Geom.KW, oh*ow)
+	if err := tensor.Im2ColInto(cols, x, c.Geom); err != nil {
+		tensor.Release(cols)
 		return nil, err
 	}
 	wm, err := c.EffectiveWeights()
 	if err != nil {
+		tensor.Release(cols)
 		return nil, err
 	}
-	out, err := tensor.Gemm(wm, cols) // (OutC, OutH*OutW)
-	if err != nil {
+	out := tensor.New(c.OutC, oh*ow)
+	if err := tensor.GemmInto(out, wm, cols); err != nil {
+		tensor.Release(cols)
 		return nil, err
 	}
 	if c.Bias != nil {
-		oh, ow := c.Geom.OutH(), c.Geom.OutW()
 		od := out.Data()
 		for o := 0; o < c.OutC; o++ {
 			b := c.Bias.Value.Data()[o]
@@ -134,9 +155,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		c.qw = wm
 		c.inGeom = c.Geom
 	} else {
+		tensor.Release(cols)
 		c.cols, c.qw = nil, nil
 	}
-	return out.Reshape(c.OutC, c.Geom.OutH(), c.Geom.OutW())
+	return out.Reshape(c.OutC, oh, ow)
 }
 
 // Backward implements Layer.
@@ -149,14 +171,16 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
+	k := c.inGeom.InC * c.inGeom.KH * c.inGeom.KW
 	// dW = g · colsᵀ, with STE through the quantizer.
-	dW, err := tensor.GemmTransB(g, c.cols)
-	if err != nil {
+	dW := tensor.Borrow(c.OutC, k)
+	if err := tensor.GemmTransBInto(dW, g, c.cols); err != nil {
+		tensor.Release(dW)
 		return nil, err
 	}
-	k := c.inGeom.InC * c.inGeom.KH * c.inGeom.KW
 	wg, err := c.Weight.Grad.Reshape(c.OutC, k)
 	if err != nil {
+		tensor.Release(dW)
 		return nil, err
 	}
 	// Straight-through estimator: the gradient of the fake-quantized
@@ -165,6 +189,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	for i, gv := range dW.Data() {
 		wg.Data()[i] += gv
 	}
+	tensor.Release(dW)
 	if c.Bias != nil {
 		bg := c.Bias.Grad.Data()
 		gd := g.Data()
@@ -177,11 +202,21 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dX = Col2Im(Wᵀ · g).
-	dCols, err := tensor.GemmTransA(c.qw, g)
+	dCols := tensor.Borrow(k, oh*ow)
+	if err := tensor.GemmTransAInto(dCols, c.qw, g); err != nil {
+		tensor.Release(dCols)
+		return nil, err
+	}
+	dx := tensor.New(c.inGeom.InC, c.inGeom.InH, c.inGeom.InW)
+	err = tensor.Col2ImInto(dx, dCols, c.inGeom)
+	tensor.Release(dCols)
+	// The im2col scratch borrowed by Forward(train=true) is done now.
+	tensor.Release(c.cols)
+	c.cols, c.qw = nil, nil
 	if err != nil {
 		return nil, err
 	}
-	return tensor.Col2Im(dCols, c.inGeom)
+	return dx, nil
 }
 
 // PruneFilters removes the given output filters (ascending, unique indices)

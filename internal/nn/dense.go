@@ -26,6 +26,13 @@ type Dense struct {
 	// forward cache
 	x  *tensor.Tensor
 	qw *tensor.Tensor
+
+	// EffectiveWeights cache, keyed on the weight Param's identity and
+	// version (see Conv2D).
+	effW        *tensor.Tensor
+	effWOf      *Param
+	effWVersion uint64
+	quantRuns   int
 }
 
 // DenseConfig collects Dense construction options.
@@ -70,15 +77,22 @@ func (d *Dense) Params() []*Param {
 }
 
 // EffectiveWeights returns the weights as they enter the compute (after
-// fake quantization); see Conv2D.EffectiveWeights.
+// fake quantization), cached until the weight version changes; see
+// Conv2D.EffectiveWeights. Callers must treat the result as read-only.
 func (d *Dense) EffectiveWeights() (*tensor.Tensor, error) {
 	if d.Quant == nil {
 		return d.Weight.Value, nil
 	}
+	if d.effW != nil && d.effWOf == d.Weight && d.effWVersion == d.Weight.Version() {
+		return d.effW, nil
+	}
+	version := d.Weight.Version()
 	q := tensor.New(d.Out, d.In)
 	if _, err := d.Quant.QuantizeTensor(q.Data(), d.Weight.Value.Data()); err != nil {
 		return nil, err
 	}
+	d.quantRuns++
+	d.effW, d.effWOf, d.effWVersion = q, d.Weight, version
 	return q, nil
 }
 
@@ -95,8 +109,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := tensor.Gemm(wm, xm)
-	if err != nil {
+	out := tensor.New(d.Out, 1)
+	if err := tensor.GemmInto(out, wm, xm); err != nil {
 		return nil, err
 	}
 	if d.Bias != nil {

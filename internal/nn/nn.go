@@ -19,16 +19,34 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
 
 // Param is a learnable tensor together with its gradient accumulator.
+//
+// Code that mutates Value's backing data in place (the optimizer step,
+// checkpoint loading) must call BumpVersion afterwards: layers cache
+// derived views of their weights (e.g. the fake-quantized matrix Conv2D
+// feeds the GEMM) keyed on the version counter, and a stale version means
+// a stale cache. Code that swaps in a whole new Param (the pruning paths)
+// needs no bump — caches are also keyed on Param identity.
 type Param struct {
 	Name  string
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
+
+	version atomic.Uint64
 }
+
+// Version returns the weight-version counter used to key derived-weight
+// caches.
+func (p *Param) Version() uint64 { return p.version.Load() }
+
+// BumpVersion records that Value's contents changed, invalidating any
+// cache keyed on the previous version.
+func (p *Param) BumpVersion() { p.version.Add(1) }
 
 // newParam allocates a parameter and a zeroed gradient of the same shape.
 func newParam(name string, value *tensor.Tensor) *Param {

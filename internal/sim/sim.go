@@ -15,6 +15,10 @@ type Engine struct {
 	now   float64
 	seq   int64
 	queue eventHeap
+	// free recycles popped events so steady-state simulation (the edge
+	// scenario replays schedule millions of events per run) does not
+	// allocate per Schedule call.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -33,7 +37,15 @@ func (e *Engine) Schedule(t float64, fn func()) error {
 		return fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{time: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &event{time: t, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
 	return nil
 }
 
@@ -56,7 +68,10 @@ func (e *Engine) Run(until float64) {
 		}
 		heap.Pop(&e.queue)
 		e.now = next.time
-		next.fn()
+		fn := next.fn
+		next.fn = nil // drop the closure before recycling
+		e.free = append(e.free, next)
+		fn()
 	}
 	if e.now < until {
 		e.now = until

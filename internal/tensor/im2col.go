@@ -44,37 +44,60 @@ func Im2Col(in *Tensor, g ConvGeom) (*Tensor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	out := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	if err := Im2ColInto(out, in, g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Im2ColInto lowers in into dst, a caller-provided (InC·KH·KW)×(OutH·OutW)
+// tensor (typically borrowed from the scratch arena). Every element of dst
+// is written: positions that fall into padding are zeroed, so dst may hold
+// stale data on entry. Channels are split across the package worker pool;
+// each output row belongs to exactly one channel, so the result is
+// identical for any worker count.
+func Im2ColInto(dst, in *Tensor, g ConvGeom) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
 	if in.Rank() != 3 || in.shape[0] != g.InC || in.shape[1] != g.InH || in.shape[2] != g.InW {
-		return nil, fmt.Errorf("tensor: Im2Col input %v does not match geometry %dx%dx%d", in.shape, g.InC, g.InH, g.InW)
+		return fmt.Errorf("tensor: Im2Col input %v does not match geometry %dx%dx%d", in.shape, g.InC, g.InH, g.InW)
 	}
 	oh, ow := g.OutH(), g.OutW()
 	rows := g.InC * g.KH * g.KW
 	cols := oh * ow
-	out := New(rows, cols)
-	od := out.data
+	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
+		return fmt.Errorf("tensor: Im2ColInto dst %v, want %dx%d", dst.shape, rows, cols)
+	}
+	od := dst.data
 	id := in.data
-	for c := 0; c < g.InC; c++ {
-		for kh := 0; kh < g.KH; kh++ {
-			for kw := 0; kw < g.KW; kw++ {
-				r := (c*g.KH+kh)*g.KW + kw
-				rowBase := r * cols
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.StrideH - g.PadH + kh
-					if iy < 0 || iy >= g.InH {
-						continue
-					}
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.StrideW - g.PadW + kw
-						if ix < 0 || ix >= g.InW {
+	rowsPerC := g.KH * g.KW
+	parallelFor(g.InC, rowsPerC*cols, func(cLo, cHi int) {
+		clear(od[cLo*rowsPerC*cols : cHi*rowsPerC*cols])
+		for c := cLo; c < cHi; c++ {
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					r := (c*g.KH+kh)*g.KW + kw
+					rowBase := r * cols
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.StrideH - g.PadH + kh
+						if iy < 0 || iy >= g.InH {
 							continue
 						}
-						od[rowBase+oy*ow+ox] = id[(c*g.InH+iy)*g.InW+ix]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.StrideW - g.PadW + kw
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							od[rowBase+oy*ow+ox] = id[(c*g.InH+iy)*g.InW+ix]
+						}
 					}
 				}
 			}
 		}
-	}
-	return out, nil
+	})
+	return nil
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a (InC·KH·KW)×(OutH·OutW)
@@ -84,35 +107,57 @@ func Col2Im(cols *Tensor, g ConvGeom) (*Tensor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	out := New(g.InC, g.InH, g.InW)
+	if err := Col2ImInto(out, cols, g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Col2ImInto scatters cols into dst, a caller-provided CHW tensor whose
+// contents are overwritten (dst may hold stale data on entry). Channels are
+// split across the package worker pool; each channel of dst is written by
+// exactly one worker in the serial loop's order, so results are
+// bit-identical to Col2Im.
+func Col2ImInto(dst, cols *Tensor, g ConvGeom) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
 	oh, ow := g.OutH(), g.OutW()
 	wantRows := g.InC * g.KH * g.KW
 	wantCols := oh * ow
 	if cols.Rank() != 2 || cols.shape[0] != wantRows || cols.shape[1] != wantCols {
-		return nil, fmt.Errorf("tensor: Col2Im input %v does not match geometry (want %dx%d)", cols.shape, wantRows, wantCols)
+		return fmt.Errorf("tensor: Col2Im input %v does not match geometry (want %dx%d)", cols.shape, wantRows, wantCols)
 	}
-	out := New(g.InC, g.InH, g.InW)
-	od := out.data
+	if dst.Rank() != 3 || dst.shape[0] != g.InC || dst.shape[1] != g.InH || dst.shape[2] != g.InW {
+		return fmt.Errorf("tensor: Col2ImInto dst %v, want %dx%dx%d", dst.shape, g.InC, g.InH, g.InW)
+	}
+	od := dst.data
 	cd := cols.data
-	for c := 0; c < g.InC; c++ {
-		for kh := 0; kh < g.KH; kh++ {
-			for kw := 0; kw < g.KW; kw++ {
-				r := (c*g.KH+kh)*g.KW + kw
-				rowBase := r * wantCols
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.StrideH - g.PadH + kh
-					if iy < 0 || iy >= g.InH {
-						continue
-					}
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.StrideW - g.PadW + kw
-						if ix < 0 || ix >= g.InW {
+	plane := g.InH * g.InW
+	parallelFor(g.InC, g.KH*g.KW*wantCols+plane, func(cLo, cHi int) {
+		clear(od[cLo*plane : cHi*plane])
+		for c := cLo; c < cHi; c++ {
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					r := (c*g.KH+kh)*g.KW + kw
+					rowBase := r * wantCols
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.StrideH - g.PadH + kh
+						if iy < 0 || iy >= g.InH {
 							continue
 						}
-						od[(c*g.InH+iy)*g.InW+ix] += cd[rowBase+oy*ow+ox]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.StrideW - g.PadW + kw
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							od[(c*g.InH+iy)*g.InW+ix] += cd[rowBase+oy*ow+ox]
+						}
 					}
 				}
 			}
 		}
-	}
-	return out, nil
+	})
+	return nil
 }

@@ -1,0 +1,78 @@
+package tensor
+
+import "sync"
+
+// Scratch arena: size-class-bucketed sync.Pools of float32 storage. The
+// convolution and dense layers in internal/nn borrow their im2col and
+// gradient scratch here instead of allocating a fresh tensor per call, so
+// steady-state inference runs allocation-free in the compute core.
+//
+// Ownership rule: whoever Borrows a tensor owns it until it either calls
+// Release or hands the tensor to an owner with a longer lifetime (e.g.
+// Conv2D keeps its borrowed im2col matrix across Forward(train=true) and
+// releases it at the end of Backward). A released tensor must never be
+// used again; in particular no view of it (Reshape shares storage) may
+// escape to callers.
+
+const (
+	minScratchBits = 6  // smallest pooled class: 64 floats
+	maxScratchBits = 24 // largest pooled class: 16M floats (64 MiB)
+)
+
+var scratchPools [maxScratchBits - minScratchBits + 1]sync.Pool
+
+// scratchClass returns the pool index whose class size (1<<bits) is the
+// smallest holding n, or -1 when n is outside the pooled range.
+func scratchClass(n int) int {
+	if n <= 0 || n > 1<<maxScratchBits {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minScratchBits+c) {
+		c++
+	}
+	return c
+}
+
+// Borrow returns a tensor of the given shape backed by pooled storage. The
+// contents are unspecified: callers must fully define every element before
+// reading (the *Into kernels do — GemmInto and Col2ImInto overwrite dst,
+// Im2ColInto zeroes the positions it does not fill). Use New when zeroed
+// storage is required.
+func Borrow(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return New(shape...) // delegate the panic message
+		}
+		n *= d
+	}
+	c := scratchClass(n)
+	if c < 0 {
+		return New(shape...)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	if p, _ := scratchPools[c].Get().(*[]float32); p != nil {
+		return &Tensor{shape: s, data: (*p)[:n]}
+	}
+	return &Tensor{shape: s, data: make([]float32, 1<<(minScratchBits+c))[:n]}
+}
+
+// Release returns a borrowed tensor's storage to the arena. The caller must
+// not use t (or any view of it) afterwards. Tensors whose storage did not
+// come from Borrow are dropped silently, so Release(t) is always safe on a
+// tensor the caller exclusively owns. Release(nil) is a no-op.
+func Release(t *Tensor) {
+	if t == nil {
+		return
+	}
+	d := t.data[:cap(t.data)]
+	t.data, t.shape = nil, nil
+	for c := range scratchPools {
+		if len(d) == 1<<(minScratchBits+c) {
+			scratchPools[c].Put(&d)
+			return
+		}
+	}
+}

@@ -29,6 +29,10 @@ type Options struct {
 	// epochs without improvement on a held-out validation slice (taken
 	// from the end of the train split, never the test split). 0 disables.
 	Patience int
+	// EvalWorkers sets how many goroutines evaluate the test split at the
+	// end of Fit (via ParallelEvaluate, which is prediction-exact). 0 or 1
+	// evaluates serially.
+	EvalWorkers int
 }
 
 // DefaultOptions returns the paper-flavored defaults used by tests and the
@@ -166,7 +170,11 @@ func (t *Trainer) Fit(m *model.Model, ds *dataset.Dataset) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	testAcc, err := Evaluate(m, ds)
+	evalWorkers := t.opts.EvalWorkers
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+	testAcc, err := ParallelEvaluate(m, ds, evalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +218,9 @@ func (t *Trainer) step(net *nn.Network, lr float64, batch int) {
 			v[i] = mom*v[i] - scale*pg[i]
 			pv[i] += v[i]
 		}
+		// Invalidate the layers' derived-weight caches (quantized GEMM
+		// matrices) now that the weights moved.
+		p.BumpVersion()
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Full local verification: formatting, vet, build, tests, and the race
+# detector over the packages that use the tensor worker pool.
+# Run from the repository root (or via `make verify`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/tensor/... ./internal/nn/... ./internal/train/...
+
+echo "verify: OK"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify
+.PHONY: all build test race test-race test-chaos bench verify
 
 all: build
 
@@ -14,6 +14,19 @@ test:
 # pool concurrently.
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/...
+
+# Race-detector pass over the serving stack too (edge simulation, runtime
+# manager, multi-board pool) on top of the concurrent compute packages.
+test-race:
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
+		./internal/edge/... ./internal/manager/... ./internal/multiedge/...
+
+# Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
+# across the fault layer, edge simulation, manager and pool.
+test-chaos:
+	$(GO) test -count=1 -run 'Chaos' ./internal/edge/... ./internal/multiedge/...
+	$(GO) test -count=1 ./internal/fault/...
+	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,6 +7,7 @@
 //	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf]
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
 //	            [-reconfig-ms 145] [-trace]
+//	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 
 	"repro/internal/accuracy"
 	"repro/internal/edge"
+	"repro/internal/fault"
 	"repro/internal/library"
 	"repro/internal/manager"
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -35,7 +38,17 @@ func main() {
 	criteria := flag.Float64("criteria", 10, "fixed/flexible criteria multiple")
 	reconfMS := flag.Float64("reconfig-ms", 145, "reconfiguration time for -controller reconf")
 	trace := flag.Bool("trace", false, "print per-step trace CSV (single run)")
+	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;sensor-dropout:p=0.1" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift)`)
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same plan+seed replays bit-identically)")
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = fault.ParsePlan(*faultSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var scn edge.Scenario
 	switch *scenario {
@@ -101,12 +114,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := edge.Run(scn, ctl, edge.SimConfig{Seed: *seed, RecordTrace: *trace})
+		res, err := edge.Run(scn, ctl, edge.SimConfig{
+			Seed: *seed, RecordTrace: *trace, FaultPlan: plan, FaultSeed: *faultSeed,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		printStats(scn.Name, *controller, res.RunStats.FrameLossPct, res.RunStats.QoEPct,
 			res.RunStats.AvgPowerW, res.RunStats.PowerEff, res.RunStats.Switches, res.RunStats.Reconfigs)
+		printFaults(plan, res.RunStats.Faults, res.FaultEvents)
 		for _, ev := range res.Switches {
 			kind := "fast"
 			if ev.Reconfigured {
@@ -124,13 +140,29 @@ func main() {
 		return
 	}
 
-	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{})
+	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{
+		FaultPlan: plan, FaultSeed: *faultSeed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	_ = runsOut
 	printStats(scn.Name, *controller, mean.FrameLossPct, mean.QoEPct,
 		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
+	printFaults(plan, mean.Faults, nil)
+}
+
+// printFaults summarizes the chaos run: per-kind counters, then the
+// structural fault timeline (single-run mode only).
+func printFaults(plan *fault.Plan, c metrics.FaultStats, events []edge.FaultEvent) {
+	if plan == nil {
+		return
+	}
+	fmt.Printf("faults: %d reconfig failures (%d degradations), %d stalls, %d dropouts, %d spikes, %d drifts\n",
+		c.ReconfigFailures, c.Degradations, c.ReconfigStalls, c.SensorDropouts, c.SensorSpikes, c.AccuracyDrifts)
+	for _, fe := range events {
+		fmt.Printf("fault  t=%6.2fs %-14s %s\n", fe.Time, fe.Kind, fe.Detail)
+	}
 }
 
 func printStats(scn, ctl string, loss, qoe, power, eff float64, switches, reconfigs int) {

@@ -2,7 +2,9 @@ package edge
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -24,6 +26,12 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 		return nil, err
 	}
 	eng := sim.NewEngine()
+
+	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	ra, reconfAware := ctl.(ReconfigAware)
 
 	var acc metrics.Accumulator
 	res := &Result{}
@@ -67,7 +75,18 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 			busy = false
 			done := eng.Now()
 			integrate(done)
-			acc.Add(0, 1, 0, cur.Accuracy, eInf(cur), 0)
+			// Evaluator drift perturbs the measured accuracy of this
+			// inference, not the true serving accuracy.
+			measured := cur.Accuracy
+			if d := inj.Drift(done); d != 0 {
+				measured += d
+				if measured < 0 {
+					measured = 0
+				} else if measured > 1 {
+					measured = 1
+				}
+			}
+			acc.Add(0, 1, 0, measured, eInf(cur), 0)
 			latencySum += done - arrivedAt
 			latencyN++
 			startService()
@@ -76,18 +95,56 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 		}
 	}
 
-	react := func(now float64) {
-		integrate(now)
-		s, stall, switched, reconf := ctl.React(now, wl.Rate())
-		if switched || reconf {
-			if stall > 0 {
-				if until := now + stall.Seconds(); until > stallUntil {
-					stallUntil = until
-					if err := eng.Schedule(stallUntil, startService); err != nil {
-						panic(err)
-					}
+	extendStall := func(now float64, stall time.Duration) {
+		if stall > 0 {
+			if until := now + stall.Seconds(); until > stallUntil {
+				stallUntil = until
+				if err := eng.Schedule(stallUntil, startService); err != nil {
+					panic(err)
 				}
 			}
+		}
+	}
+
+	var retryH sim.Handle
+	var haveRetry bool
+	var react func(now float64)
+	react = func(now float64) {
+		integrate(now)
+		if haveRetry {
+			eng.Cancel(retryH)
+			haveRetry = false
+		}
+		rate, ok := inj.Observe(now, wl.Rate())
+		if !ok {
+			return // sensor dropout: pin the last-known-good configuration
+		}
+		s, stall, switched, reconf := ctl.React(now, rate)
+		if reconf && reconfAware {
+			out := inj.Reconfig(now)
+			if out.Failed {
+				retry, degraded := ra.ReconfigFailed(now)
+				extendStall(now, stall)
+				res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "reconfig-fail", Detail: s.Label})
+				if degraded {
+					acc.Faults.Degradations++
+					res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "degraded", Detail: "retry budget exhausted; fixed banned"})
+				}
+				if at := now + stall.Seconds() + retry.Seconds(); at < scn.Duration {
+					if h, err := eng.ScheduleCancelable(at, func() { react(eng.Now()) }); err == nil {
+						retryH, haveRetry = h, true
+					}
+				}
+				return
+			}
+			if out.StallFactor > 1 {
+				stall = time.Duration(float64(stall) * out.StallFactor)
+				res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "reconfig-stall", Detail: s.Label})
+			}
+			ra.ReconfigSucceeded(now)
+		}
+		if switched || reconf {
+			extendStall(now, stall)
 			res.Switches = append(res.Switches, SwitchEvent{Time: now, Label: s.Label, Reconfigured: reconf})
 			if switched {
 				acc.Switches++
@@ -160,6 +217,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 	integrate(scn.Duration)
 	acc.Seconds = scn.Duration
 
+	copyFaultCounts(&acc, inj)
 	res.RunStats = acc.Finalize()
 	if latencyN > 0 {
 		res.RunStats.AvgLatencyMS = latencySum / latencyN * 1e3

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/library"
 	"repro/internal/manager"
 	"repro/internal/metrics"
@@ -41,6 +42,12 @@ type TracePoint struct {
 	QoEPct       float64 // cumulative QoE up to this point
 	Accuracy     float64
 	PowerW       float64
+	// Cumulative frame counters up to and including this step. They are
+	// monotone nondecreasing by construction; the chaos invariant tests
+	// assert that no fault plan can break that.
+	ArrivedCum   float64
+	ProcessedCum float64
+	DroppedCum   float64
 }
 
 // SwitchEvent records a model/accelerator change (Fig. 6(a) annotations).
@@ -50,11 +57,22 @@ type SwitchEvent struct {
 	Reconfigured bool
 }
 
-// Result of one simulated run.
+// FaultEvent annotates one structural injected fault in a run's timeline
+// (reconfiguration failures/stalls and degradations; the high-frequency
+// sensor and drift faults are only counted, in RunStats.Faults).
+type FaultEvent struct {
+	Time   float64
+	Kind   string // "reconfig-fail", "reconfig-stall", "degraded"
+	Detail string
+}
+
+// Result of one simulated run. (The aggregate fault counters live in the
+// embedded RunStats.Faults; FaultEvents is the per-event timeline.)
 type Result struct {
 	metrics.RunStats
-	Trace    []TracePoint
-	Switches []SwitchEvent
+	Trace       []TracePoint
+	Switches    []SwitchEvent
+	FaultEvents []FaultEvent
 }
 
 // SimConfig tunes the run mechanics.
@@ -74,6 +92,12 @@ type SimConfig struct {
 	// ThresholdChanges schedules user accuracy-threshold updates during
 	// the run (delivered to controllers implementing ThresholdSetter).
 	ThresholdChanges []ThresholdChange
+	// FaultPlan, when non-nil, injects the planned faults during the run;
+	// FaultSeed drives the fault RNG streams (independent of Seed, so the
+	// same workload can be replayed under different chaos draws). Runs
+	// with equal plans and seeds replay bit-identically.
+	FaultPlan *fault.Plan
+	FaultSeed int64
 }
 
 // ThresholdChange is one scheduled user update of the accuracy threshold.
@@ -87,6 +111,21 @@ type ThresholdChange struct {
 // Manager).
 type ThresholdSetter interface {
 	SetAccuracyThreshold(threshold float64) error
+}
+
+// ReconfigAware is implemented by controllers that can survive a failed
+// FPGA reconfiguration. When React reports reconfigured=true and the
+// injected reconfiguration fails, the run calls ReconfigFailed: the
+// controller must restore its pre-decision state (the old configuration
+// keeps serving) and return the backoff before the next attempt, plus
+// whether it just exhausted its retry budget and degraded to the
+// Flexible accelerator. A reconfiguration that completes is closed with
+// ReconfigSucceeded. Controllers without this interface are served
+// fault-free on the reconfiguration path (sensor and drift faults still
+// apply).
+type ReconfigAware interface {
+	ReconfigFailed(now float64) (retry time.Duration, degraded bool)
+	ReconfigSucceeded(now float64)
 }
 
 func (c *SimConfig) defaults() {
@@ -114,6 +153,12 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 	}
 	eng := sim.NewEngine()
 
+	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	ra, reconfAware := ctl.(ReconfigAware)
+
 	var acc metrics.Accumulator
 	res := &Result{}
 	var queue float64
@@ -123,15 +168,56 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 		return nil, fmt.Errorf("edge: controller returned no power model")
 	}
 
-	react := func(now float64) {
-		s, stall, switched, reconf := ctl.React(now, wl.Rate())
-		if switched || reconf {
-			if stall > 0 {
-				until := now + stall.Seconds()
-				if until > stallUntil {
-					stallUntil = until
-				}
+	extendStall := func(now float64, stall time.Duration) {
+		if stall > 0 {
+			if until := now + stall.Seconds(); until > stallUntil {
+				stallUntil = until
 			}
+		}
+	}
+
+	var retryH sim.Handle
+	var haveRetry bool
+	var react func(now float64)
+	react = func(now float64) {
+		// A fresh reaction supersedes any pending reconfiguration retry.
+		if haveRetry {
+			eng.Cancel(retryH)
+			haveRetry = false
+		}
+		rate, ok := inj.Observe(now, wl.Rate())
+		if !ok {
+			return // sensor dropout: pin the last-known-good configuration
+		}
+		s, stall, switched, reconf := ctl.React(now, rate)
+		if reconf && reconfAware {
+			out := inj.Reconfig(now)
+			if out.Failed {
+				// The stall is paid but the bitstream never loads: the
+				// controller rolls back, the old configuration keeps
+				// serving, and we retry after a bounded backoff.
+				retry, degraded := ra.ReconfigFailed(now)
+				extendStall(now, stall)
+				res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "reconfig-fail", Detail: s.Label})
+				if degraded {
+					acc.Faults.Degradations++
+					res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "degraded", Detail: "retry budget exhausted; fixed banned"})
+				}
+				if at := now + stall.Seconds() + retry.Seconds(); at < scn.Duration {
+					if h, err := eng.ScheduleCancelable(at, func() { react(eng.Now()) }); err == nil {
+						retryH, haveRetry = h, true
+					}
+				}
+				return
+			}
+			if out.StallFactor > 1 {
+				stall = time.Duration(float64(stall) * out.StallFactor)
+				res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "reconfig-stall", Detail: s.Label})
+			}
+			ra.ReconfigSucceeded(now)
+		}
+		if switched || reconf {
+			extendStall(now, stall)
 			res.Switches = append(res.Switches, SwitchEvent{Time: now, Label: s.Label, Reconfigured: reconf})
 			if switched {
 				acc.Switches++
@@ -218,7 +304,18 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 
 			procFPS := processed / dt
 			power := serving.PowerAt(procFPS)*avail + serving.IdlePower*stalled
-			acc.Add(arrived, processed, dropped, serving.Accuracy, power*dt, dt)
+			// The accuracy evaluator may drift: the measured accuracy of
+			// this step is perturbed, the true serving accuracy is not.
+			measured := serving.Accuracy
+			if d := inj.Drift(now); d != 0 {
+				measured += d
+				if measured < 0 {
+					measured = 0
+				} else if measured > 1 {
+					measured = 1
+				}
+			}
+			acc.Add(arrived, processed, dropped, measured, power*dt, dt)
 			acc.AddQueue(queue, dt)
 
 			if cfg.RecordTrace {
@@ -234,8 +331,11 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 					LossPct:      snap.FrameLossPct,
 					InstLossPct:  inst,
 					QoEPct:       snap.QoEPct,
-					Accuracy:     serving.Accuracy,
+					Accuracy:     measured,
 					PowerW:       power,
+					ArrivedCum:   acc.Arrived,
+					ProcessedCum: acc.Processed,
+					DroppedCum:   acc.Dropped,
 				})
 			}
 		}); err != nil {
@@ -244,8 +344,20 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 	}
 
 	eng.Run(scn.Duration + 1)
+	copyFaultCounts(&acc, inj)
 	res.RunStats = acc.Finalize()
 	return res, nil
+}
+
+// copyFaultCounts moves the injector's per-kind fire counts into the
+// accumulator (Degradations is counted by the run loop itself).
+func copyFaultCounts(acc *metrics.Accumulator, inj *fault.Injector) {
+	c := inj.Counts()
+	acc.Faults.ReconfigFailures = c.ReconfigFailures
+	acc.Faults.ReconfigStalls = c.ReconfigStalls
+	acc.Faults.SensorDropouts = c.SensorDropouts
+	acc.Faults.SensorSpikes = c.SensorSpikes
+	acc.Faults.AccuracyDrifts = c.AccuracyDrifts
 }
 
 // RunRepeated averages n runs with seeds seed, seed+1, … and returns the
@@ -262,6 +374,7 @@ func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64,
 		}
 		c := cfg
 		c.Seed = seed + int64(i)
+		c.FaultSeed = cfg.FaultSeed + int64(i)
 		c.RecordTrace = false
 		r, err := Run(scn, ctl, c)
 		if err != nil {
@@ -311,6 +424,17 @@ func NewAdaFlow(mgr *manager.Manager) *AdaFlowController {
 // Runtime Manager.
 func (c *AdaFlowController) SetAccuracyThreshold(threshold float64) error {
 	return c.mgr.SetAccuracyThreshold(threshold)
+}
+
+// ReconfigFailed implements ReconfigAware: the manager rolls back the
+// failed decision and returns the retry backoff.
+func (c *AdaFlowController) ReconfigFailed(now float64) (time.Duration, bool) {
+	return c.mgr.ReconfigFailed(now)
+}
+
+// ReconfigSucceeded implements ReconfigAware.
+func (c *AdaFlowController) ReconfigSucceeded(now float64) {
+	c.mgr.ReconfigSucceeded(now)
 }
 
 // React implements Controller.

@@ -1,0 +1,337 @@
+// Package fault implements a deterministic fault-injection layer for the
+// serving path: a seeded, schedulable plan of runtime faults —
+// reconfiguration failures and stalls, workload-sensor dropout and spike
+// noise, accuracy-evaluator drift — injected into the edge-server
+// simulation (internal/edge), the Runtime Manager (internal/manager) and
+// the multi-FPGA pool (internal/multiedge).
+//
+// Every fault is drawn from an independent RNG stream derived from the
+// plan seed (sim.RNG), and the discrete-event engine queries the injector
+// in a deterministic order, so an entire chaos run replays bit-identically
+// from (plan, seed). That determinism is what makes golden-trace and
+// chaos-invariant tests possible.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault classes. ReconfigFail makes an attempted FPGA reconfiguration
+// fail outright (the stall is paid but the new configuration does not
+// take effect); ReconfigStall multiplies a successful reconfiguration's
+// nominal stall; SensorDropout suppresses a workload observation (the
+// controller keeps serving its last-known-good model); SensorSpike
+// multiplies an observation by noise; AccuracyDrift perturbs the measured
+// serving accuracy (evaluator noise — the true model accuracy is
+// unchanged).
+const (
+	ReconfigFail Kind = iota
+	ReconfigStall
+	SensorDropout
+	SensorSpike
+	AccuracyDrift
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	ReconfigFail:  "reconfig-fail",
+	ReconfigStall: "reconfig-stall",
+	SensorDropout: "sensor-dropout",
+	SensorSpike:   "sensor-spike",
+	AccuracyDrift: "accuracy-drift",
+}
+
+// String names the kind (the spelling ParsePlan accepts).
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("fault.Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// defaultMag is the per-kind magnitude used when a rule leaves Mag unset:
+// stalls take 3× the nominal time, spikes scale observations by up to
+// ±100 %, drift subtracts 5 accuracy points.
+func defaultMag(k Kind) float64 {
+	switch k {
+	case ReconfigStall:
+		return 3
+	case SensorSpike:
+		return 1
+	case AccuracyDrift:
+		return -0.05
+	}
+	return 0
+}
+
+// Rule is one scheduled fault class of a plan.
+type Rule struct {
+	Kind Kind
+	// Prob is the per-query probability in [0,1] that the fault fires
+	// while the rule is active.
+	Prob float64
+	// Start and End bound the active window in simulation seconds
+	// ([Start, End)); End = 0 leaves the window open-ended.
+	Start, End float64
+	// Mag is the kind-specific magnitude: the stall factor (ReconfigStall,
+	// ≥ 1), the relative spike amplitude (SensorSpike: observations scale
+	// by 1 + U(−Mag, +Mag)), or the accuracy delta (AccuracyDrift). Zero
+	// selects the kind's default.
+	Mag float64
+}
+
+// active reports whether the rule's window covers time t.
+func (r Rule) active(t float64) bool {
+	return t >= r.Start && (r.End <= 0 || t < r.End)
+}
+
+// Validate checks one rule.
+func (r Rule) Validate() error {
+	if r.Kind < 0 || r.Kind >= numKinds {
+		return fmt.Errorf("fault: unknown kind %d", int(r.Kind))
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: %s probability %v outside [0,1]", r.Kind, r.Prob)
+	}
+	if r.Start < 0 {
+		return fmt.Errorf("fault: %s start %v negative", r.Kind, r.Start)
+	}
+	if r.End != 0 && r.End <= r.Start {
+		return fmt.Errorf("fault: %s window [%v,%v) empty", r.Kind, r.Start, r.End)
+	}
+	if r.Kind == ReconfigStall && r.Mag != 0 && r.Mag < 1 {
+		return fmt.Errorf("fault: %s factor %v below 1", r.Kind, r.Mag)
+	}
+	if r.Kind == SensorSpike && r.Mag < 0 {
+		return fmt.Errorf("fault: %s amplitude %v negative", r.Kind, r.Mag)
+	}
+	return nil
+}
+
+// Plan is a schedulable set of fault rules. The zero value is a valid,
+// fault-free plan.
+type Plan struct {
+	Rules []Rule
+}
+
+// Validate checks every rule.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the canonical form ParsePlan accepts.
+func (p *Plan) String() string {
+	var parts []string
+	for _, r := range p.Rules {
+		s := fmt.Sprintf("%s:p=%v", r.Kind, r.Prob)
+		if r.Start != 0 {
+			s += fmt.Sprintf(",start=%v", r.Start)
+		}
+		if r.End != 0 {
+			s += fmt.Sprintf(",end=%v", r.End)
+		}
+		if r.Mag != 0 {
+			s += fmt.Sprintf(",mag=%v", r.Mag)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses a plan spec of semicolon-separated rules, each
+// "kind:key=value,...", e.g.
+//
+//	reconfig-fail:p=0.7,start=2,end=12;sensor-dropout:p=0.25;sensor-spike:p=0.2,mag=1.5
+//
+// Keys: p (probability, required), start, end (window seconds), mag
+// (kind-specific magnitude). An empty spec yields an empty plan.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, params, _ := strings.Cut(part, ":")
+		kind, err := parseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Kind: kind}
+		seenP := false
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: rule %q: parameter %q is not key=value", part, kv)
+				}
+				f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: rule %q: %s: %v", part, key, err)
+				}
+				switch strings.TrimSpace(key) {
+				case "p":
+					r.Prob, seenP = f, true
+				case "start":
+					r.Start = f
+				case "end":
+					r.End = f
+				case "mag":
+					r.Mag = f
+				default:
+					return nil, fmt.Errorf("fault: rule %q: unknown parameter %q", part, key)
+				}
+			}
+		}
+		if !seenP {
+			return nil, fmt.Errorf("fault: rule %q: missing probability p=", part)
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+func parseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	known := append([]string(nil), kindNames[:]...)
+	sort.Strings(known)
+	return 0, fmt.Errorf("fault: unknown kind %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Counts tallies injected faults, by class.
+type Counts struct {
+	ReconfigFailures int
+	ReconfigStalls   int
+	SensorDropouts   int
+	SensorSpikes     int
+	AccuracyDrifts   int
+}
+
+// Injector draws scheduled faults from a plan. Each fault kind consumes
+// its own deterministic RNG stream, so runs that issue the same query
+// sequence (as the discrete-event simulations do) replay bit-identically.
+// An Injector is single-run state: build a fresh one per run.
+type Injector struct {
+	plan    Plan
+	streams [numKinds]*rand.Rand
+	counts  Counts
+}
+
+// NewInjector validates the plan and derives the per-kind streams from
+// seed. A nil plan yields a fault-free injector.
+func NewInjector(p *Plan, seed int64) (*Injector, error) {
+	in := &Injector{}
+	if p != nil {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		in.plan.Rules = append(in.plan.Rules, p.Rules...)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		in.streams[k] = sim.RNG(seed, "fault/"+kindNames[k])
+	}
+	return in, nil
+}
+
+// fires draws whether a rule of the given kind triggers at time now. The
+// first active rule of the kind wins; its magnitude (or the kind default)
+// is returned.
+func (in *Injector) fires(kind Kind, now float64) (bool, float64) {
+	for _, r := range in.plan.Rules {
+		if r.Kind != kind || !r.active(now) {
+			continue
+		}
+		if in.streams[kind].Float64() < r.Prob {
+			mag := r.Mag
+			if mag == 0 {
+				mag = defaultMag(kind)
+			}
+			return true, mag
+		}
+	}
+	return false, 0
+}
+
+// ReconfigOutcome is the injected fate of one reconfiguration attempt.
+type ReconfigOutcome struct {
+	// Failed: the attempt stalls the server for its nominal cost and then
+	// fails; the previous configuration keeps serving.
+	Failed bool
+	// StallFactor scales the nominal stall of a successful attempt (≥ 1;
+	// 1 = nominal).
+	StallFactor float64
+}
+
+// Reconfig draws the outcome of a reconfiguration attempt at time now.
+func (in *Injector) Reconfig(now float64) ReconfigOutcome {
+	out := ReconfigOutcome{StallFactor: 1}
+	if failed, _ := in.fires(ReconfigFail, now); failed {
+		in.counts.ReconfigFailures++
+		out.Failed = true
+		return out
+	}
+	if stalled, mag := in.fires(ReconfigStall, now); stalled {
+		in.counts.ReconfigStalls++
+		out.StallFactor = mag
+	}
+	return out
+}
+
+// Observe passes a workload observation through the sensor faults. It
+// returns the (possibly noisy) observed rate and ok=false on dropout —
+// the observation is unavailable and the controller should keep its
+// last-known-good configuration.
+func (in *Injector) Observe(now, actual float64) (obs float64, ok bool) {
+	if dropped, _ := in.fires(SensorDropout, now); dropped {
+		in.counts.SensorDropouts++
+		return 0, false
+	}
+	obs = actual
+	if spiked, mag := in.fires(SensorSpike, now); spiked {
+		in.counts.SensorSpikes++
+		u := in.streams[SensorSpike].Float64()*2 - 1
+		obs *= 1 + u*mag
+		if obs < 0 {
+			obs = 0
+		}
+	}
+	return obs, true
+}
+
+// Drift draws the accuracy-evaluator drift at time now: the delta to add
+// to the measured serving accuracy (0 when inactive).
+func (in *Injector) Drift(now float64) float64 {
+	if drifted, mag := in.fires(AccuracyDrift, now); drifted {
+		in.counts.AccuracyDrifts++
+		return mag
+	}
+	return 0
+}
+
+// Counts returns the faults injected so far.
+func (in *Injector) Counts() Counts { return in.counts }

@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "reconfig-fail:p=0.7,start=2,end=12;sensor-dropout:p=0.25;sensor-spike:p=0.2,mag=1.5;accuracy-drift:p=0.1,mag=-0.03;reconfig-stall:p=0.3,mag=4"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if r := p.Rules[0]; r.Kind != ReconfigFail || r.Prob != 0.7 || r.Start != 2 || r.End != 12 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if r := p.Rules[2]; r.Kind != SensorSpike || r.Mag != 1.5 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+	// String() renders a spec ParsePlan accepts and parses to the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(p2.Rules) != len(p.Rules) {
+		t.Fatalf("round trip lost rules: %v", p.String())
+	}
+	for i := range p.Rules {
+		if p.Rules[i] != p2.Rules[i] {
+			t.Fatalf("rule %d: %+v != %+v", i, p.Rules[i], p2.Rules[i])
+		}
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 0 {
+		t.Fatalf("empty spec produced rules: %+v", p.Rules)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus-kind:p=0.5",
+		"reconfig-fail",                     // missing p
+		"reconfig-fail:p=1.5",               // prob out of range
+		"reconfig-fail:p=0.5,start=-1",      // negative start
+		"reconfig-fail:p=0.5,start=5,end=2", // empty window
+		"reconfig-fail:p=0.5,wat=3",         // unknown key
+		"reconfig-fail:p=abc",               // bad float
+		"reconfig-fail:p",                   // not key=value
+		"reconfig-stall:p=0.5,mag=0.5",      // stall factor below 1
+		"sensor-spike:p=0.5,mag=-1",         // negative amplitude
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ReconfigFail.String() != "reconfig-fail" || AccuracyDrift.String() != "accuracy-drift" {
+		t.Fatal("kind names")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+// TestInjectorDeterministic: two injectors with the same plan and seed
+// produce identical outcomes for an identical query sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	plan, err := ParsePlan("reconfig-fail:p=0.4;reconfig-stall:p=0.3;sensor-dropout:p=0.2;sensor-spike:p=0.3;accuracy-drift:p=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]ReconfigOutcome, []float64, []bool, []float64, Counts) {
+		in, err := NewInjector(plan, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outs []ReconfigOutcome
+		var obs []float64
+		var oks []bool
+		var drifts []float64
+		for i := 0; i < 200; i++ {
+			now := float64(i) * 0.1
+			outs = append(outs, in.Reconfig(now))
+			o, ok := in.Observe(now, 600)
+			obs = append(obs, o)
+			oks = append(oks, ok)
+			drifts = append(drifts, in.Drift(now))
+		}
+		return outs, obs, oks, drifts, in.Counts()
+	}
+	o1, b1, k1, d1, c1 := run()
+	o2, b2, k2, d2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts differ: %+v vs %+v", c1, c2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] || b1[i] != b2[i] || k1[i] != k2[i] || d1[i] != d2[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+	if c1.ReconfigFailures == 0 || c1.SensorDropouts == 0 || c1.SensorSpikes == 0 || c1.AccuracyDrifts == 0 || c1.ReconfigStalls == 0 {
+		t.Fatalf("some fault class never fired: %+v", c1)
+	}
+}
+
+// TestInjectorSeedsIndependent: different seeds give different fault
+// sequences (with overwhelming probability at 200 draws, p=0.5).
+func TestInjectorSeedsIndependent(t *testing.T) {
+	plan, _ := ParsePlan("sensor-dropout:p=0.5")
+	draw := func(seed int64) []bool {
+		in, _ := NewInjector(plan, seed)
+		var ks []bool
+		for i := 0; i < 200; i++ {
+			_, ok := in.Observe(float64(i), 1)
+			ks = append(ks, ok)
+		}
+		return ks
+	}
+	a, b := draw(1), draw(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical dropout sequences")
+	}
+}
+
+// TestWindowRespected: a rule only fires inside its [Start, End) window.
+func TestWindowRespected(t *testing.T) {
+	plan, _ := ParsePlan("reconfig-fail:p=1,start=5,end=10")
+	in, _ := NewInjector(plan, 1)
+	for _, tc := range []struct {
+		now  float64
+		fail bool
+	}{{0, false}, {4.99, false}, {5, true}, {9.99, true}, {10, false}, {20, false}} {
+		if out := in.Reconfig(tc.now); out.Failed != tc.fail {
+			t.Fatalf("t=%v failed=%v, want %v", tc.now, out.Failed, tc.fail)
+		}
+	}
+	if got := in.Counts().ReconfigFailures; got != 2 {
+		t.Fatalf("failures = %d, want 2", got)
+	}
+}
+
+// TestOpenEndedWindow: End=0 keeps the rule active forever.
+func TestOpenEndedWindow(t *testing.T) {
+	plan, _ := ParsePlan("accuracy-drift:p=1,start=3")
+	in, _ := NewInjector(plan, 1)
+	if d := in.Drift(1); d != 0 {
+		t.Fatalf("drift before window: %v", d)
+	}
+	if d := in.Drift(1e6); d != defaultMag(AccuracyDrift) {
+		t.Fatalf("drift = %v, want default %v", d, defaultMag(AccuracyDrift))
+	}
+}
+
+// TestDefaultMagnitudes: unset Mag falls back to per-kind defaults.
+func TestDefaultMagnitudes(t *testing.T) {
+	plan, _ := ParsePlan("reconfig-stall:p=1")
+	in, _ := NewInjector(plan, 1)
+	out := in.Reconfig(0)
+	if out.Failed || out.StallFactor != 3 {
+		t.Fatalf("outcome %+v, want default 3x stall", out)
+	}
+}
+
+// TestSpikeBounds: spiked observations stay non-negative and within the
+// amplitude band.
+func TestSpikeBounds(t *testing.T) {
+	plan, _ := ParsePlan("sensor-spike:p=1,mag=2")
+	in, _ := NewInjector(plan, 3)
+	for i := 0; i < 500; i++ {
+		obs, ok := in.Observe(float64(i), 100)
+		if !ok {
+			t.Fatal("spike rule caused dropout")
+		}
+		if obs < 0 || obs > 100*3 {
+			t.Fatalf("spiked observation %v outside [0, 300]", obs)
+		}
+	}
+}
+
+// TestNilPlanFaultFree: a nil plan injects nothing.
+func TestNilPlanFaultFree(t *testing.T) {
+	in, err := NewInjector(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if out := in.Reconfig(float64(i)); out.Failed || out.StallFactor != 1 {
+			t.Fatalf("fault-free reconfig outcome %+v", out)
+		}
+		if obs, ok := in.Observe(float64(i), 42); !ok || obs != 42 {
+			t.Fatalf("fault-free observation %v %v", obs, ok)
+		}
+		if d := in.Drift(float64(i)); d != 0 {
+			t.Fatalf("fault-free drift %v", d)
+		}
+	}
+	if (in.Counts() != Counts{}) {
+		t.Fatalf("fault-free counts %+v", in.Counts())
+	}
+}
+
+// TestInvalidPlanRejected: NewInjector validates.
+func TestInvalidPlanRejected(t *testing.T) {
+	if _, err := NewInjector(&Plan{Rules: []Rule{{Kind: Kind(42), Prob: 0.5}}}, 1); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, err := NewInjector(&Plan{Rules: []Rule{{Kind: ReconfigFail, Prob: 2}}}, 1); err == nil {
+		t.Fatal("invalid probability accepted")
+	}
+}

@@ -93,11 +93,46 @@ type Config struct {
 	Headroom float64
 	// Policy breaks ties among versions that meet the demand.
 	Policy Policy
+
+	// Degradation policy: how the manager reacts when an FPGA
+	// reconfiguration it requested fails at run time (reported through
+	// ReconfigFailed). Zero values select the defaults, so configs built
+	// before this policy existed keep working.
+
+	// MaxReconfigRetries is the number of consecutive failed
+	// reconfiguration attempts tolerated before the manager falls back to
+	// the Flexible accelerator (0 = default 3).
+	MaxReconfigRetries int
+	// RetryBackoff is the delay before the first retry; it doubles on
+	// every consecutive failure, capped at RetryBackoffMax
+	// (0 = defaults 20 ms and 2 s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// FixedBanMultiple: after a fallback, Fixed-Pruning stays banned for
+	// FixedBanMultiple × reconfiguration time (0 = default 20×), giving
+	// the failing reconfiguration path time to recover.
+	FixedBanMultiple float64
 }
 
 // DefaultConfig mirrors the paper's evaluation settings.
 func DefaultConfig() Config {
 	return Config{AccuracyThreshold: 0.10, CriteriaMultiple: 10, Headroom: 0}
+}
+
+// normalize fills the degradation-policy defaults.
+func (c *Config) normalize() {
+	if c.MaxReconfigRetries == 0 {
+		c.MaxReconfigRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 2 * time.Second
+	}
+	if c.FixedBanMultiple == 0 {
+		c.FixedBanMultiple = 20
+	}
 }
 
 // Manager tracks serving state across decisions.
@@ -113,6 +148,29 @@ type Manager struct {
 	switches   int
 	reconfigs  int
 	log        []LogEntry
+
+	// Degradation state: snap holds the pre-decision state while a
+	// reconfiguration's outcome is unknown (valid when haveSnap), so a
+	// failed attempt can roll back; consecFails counts failures since the
+	// last success; fixedBanUntil bans Fixed-Pruning after a fallback.
+	snap          snapshot
+	haveSnap      bool
+	consecFails   int
+	reconfFails   int
+	degradations  int
+	fixedBanUntil float64
+}
+
+// snapshot is the rollback state for an uncommitted reconfiguration.
+type snapshot struct {
+	cur        Decision
+	haveCur    bool
+	lastSwitch float64
+	emaIval    float64
+	haveEMA    bool
+	switches   int
+	reconfigs  int
+	logLen     int
 }
 
 // New builds a manager over a generated library.
@@ -126,7 +184,11 @@ func New(lib *library.Library, cfg Config) (*Manager, error) {
 	if cfg.CriteriaMultiple <= 0 {
 		return nil, fmt.Errorf("manager: criteria multiple must be positive")
 	}
-	return &Manager{lib: lib, cfg: cfg, emaIval: 1e18, lastSwitch: -1e18}, nil
+	if cfg.MaxReconfigRetries < 0 || cfg.RetryBackoff < 0 || cfg.RetryBackoffMax < 0 || cfg.FixedBanMultiple < 0 {
+		return nil, fmt.Errorf("manager: negative degradation parameter")
+	}
+	cfg.normalize()
+	return &Manager{lib: lib, cfg: cfg, emaIval: 1e18, lastSwitch: -1e18, fixedBanUntil: -1e18}, nil
 }
 
 // Library returns the manager's library.
@@ -154,6 +216,10 @@ type LogEntry struct {
 	Entry    int
 	Kind     AccelKind
 	Switched bool
+	// Degraded marks decisions whose accelerator family was forced to
+	// Flexible by the degradation policy (Fixed ban after repeated
+	// reconfiguration failures).
+	Degraded bool
 }
 
 // Log returns the decision history (every Decide call that changed the
@@ -168,6 +234,63 @@ func (m *Manager) Switches() int { return m.switches }
 
 // Reconfigs returns how many FPGA reconfigurations those switches cost.
 func (m *Manager) Reconfigs() int { return m.reconfigs }
+
+// ReconfigFailures returns how many reconfiguration attempts were
+// reported failed (faults rolled back; not counted in Reconfigs).
+func (m *Manager) ReconfigFailures() int { return m.reconfFails }
+
+// Degradations returns how many times repeated reconfiguration failures
+// forced the manager to fall back to the Flexible accelerator.
+func (m *Manager) Degradations() int { return m.degradations }
+
+// DegradedAt reports whether the Fixed family is banned at time now
+// (degradation fallback active).
+func (m *Manager) DegradedAt(now float64) bool { return now < m.fixedBanUntil }
+
+// ReconfigFailed tells the manager that the reconfiguration its last
+// Decide requested did not take effect: the previous configuration keeps
+// serving, so the decision is rolled back (state, counters and log). It
+// returns the delay before the caller should retry — exponential backoff
+// doubling per consecutive failure — and whether the retry budget is now
+// exhausted, which bans Fixed-Pruning for FixedBanMultiple ×
+// reconfiguration time so the next attempts degrade to the Flexible
+// accelerator. Calling it with no outstanding reconfiguration is a no-op
+// returning (0, false).
+func (m *Manager) ReconfigFailed(now float64) (retry time.Duration, degraded bool) {
+	if !m.haveSnap {
+		return 0, false
+	}
+	s := m.snap
+	m.cur, m.haveCur = s.cur, s.haveCur
+	m.lastSwitch, m.emaIval, m.haveEMA = s.lastSwitch, s.emaIval, s.haveEMA
+	m.switches, m.reconfigs = s.switches, s.reconfigs
+	m.log = m.log[:s.logLen]
+	m.haveSnap = false
+
+	m.consecFails++
+	m.reconfFails++
+	retry = m.cfg.RetryBackoff << (m.consecFails - 1)
+	if retry > m.cfg.RetryBackoffMax || retry <= 0 { // <=0 guards shift overflow
+		retry = m.cfg.RetryBackoffMax
+	}
+	if m.consecFails >= m.cfg.MaxReconfigRetries {
+		m.fixedBanUntil = now + m.cfg.FixedBanMultiple*m.lib.ReconfigTime.Seconds()
+		m.degradations++
+		m.consecFails = 0
+		// Retry promptly: the fallback decision itself (loading the
+		// Flexible accelerator) is what the retry will apply.
+		retry = m.cfg.RetryBackoff
+		degraded = true
+	}
+	return retry, degraded
+}
+
+// ReconfigSucceeded confirms the last requested reconfiguration took
+// effect, committing the decision and resetting the failure streak.
+func (m *Manager) ReconfigSucceeded(now float64) {
+	m.haveSnap = false
+	m.consecFails = 0
+}
 
 // eligible reports whether entry i satisfies the accuracy threshold.
 func (m *Manager) eligible(i int) bool {
@@ -252,6 +375,14 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 	if interval >= m.cfg.CriteriaMultiple*m.lib.ReconfigTime.Seconds() {
 		kind = Fixed
 	}
+	// Degradation fallback: while Fixed-Pruning is banned (repeated
+	// reconfiguration failures), serve from the Flexible accelerator even
+	// when the switch-interval rule would pick Fixed.
+	degraded := false
+	if kind == Fixed && now < m.fixedBanUntil {
+		kind = Flexible
+		degraded = true
+	}
 
 	if !modelSwitch && m.haveCur && kind == m.cur.Kind {
 		return m.cur, false
@@ -278,6 +409,16 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 		d.SwitchCost = m.lib.ReconfigTime
 		d.Reconfigured = true
 	}
+	// Reconfigurations can fail at run time: keep the pre-decision state
+	// until the outcome is reported (ReconfigFailed rolls back,
+	// ReconfigSucceeded or the next commit discards). Fast flexible
+	// switches cannot fail, so they need no snapshot.
+	m.snap = snapshot{
+		cur: m.cur, haveCur: m.haveCur,
+		lastSwitch: m.lastSwitch, emaIval: m.emaIval, haveEMA: m.haveEMA,
+		switches: m.switches, reconfigs: m.reconfigs, logLen: len(m.log),
+	}
+	m.haveSnap = d.Reconfigured
 	if modelSwitch {
 		if m.haveCur {
 			obs := now - m.lastSwitch
@@ -298,7 +439,7 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 	m.haveCur = true
 	m.log = append(m.log, LogEntry{
 		Time: now, Incoming: incomingFPS,
-		Entry: d.Entry, Kind: d.Kind, Switched: modelSwitch,
+		Entry: d.Entry, Kind: d.Kind, Switched: modelSwitch, Degraded: degraded,
 	})
 	return d, true
 }

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/library"
@@ -194,6 +195,180 @@ func TestPolicyEnergyPrefersCheaperVersion(t *testing.T) {
 	}
 	if PolicyEnergy.String() != "energy" || PolicyThroughput.String() != "throughput" {
 		t.Fatal("policy names")
+	}
+}
+
+// TestReconfigFailedRollsBack: a failed reconfiguration leaves the
+// manager exactly as before the decision — state, counters and log.
+func TestReconfigFailedRollsBack(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, changed := mgr.Decide(0, 100)
+	if !changed || !d.Reconfigured {
+		t.Fatalf("initial decision %+v", d)
+	}
+	retry, degraded := mgr.ReconfigFailed(0)
+	if retry <= 0 || degraded {
+		t.Fatalf("first failure: retry %v degraded %v", retry, degraded)
+	}
+	if _, have := mgr.Current(); have {
+		t.Fatal("rollback kept a current decision")
+	}
+	if mgr.Switches() != 0 || mgr.Reconfigs() != 0 || len(mgr.Log()) != 0 {
+		t.Fatalf("rollback left counters: %d switches, %d reconfigs, %d log",
+			mgr.Switches(), mgr.Reconfigs(), len(mgr.Log()))
+	}
+	if mgr.ReconfigFailures() != 1 {
+		t.Fatalf("failures = %d", mgr.ReconfigFailures())
+	}
+	// A fresh decision re-attempts normally.
+	if d, changed := mgr.Decide(0.1, 100); !changed || !d.Reconfigured {
+		t.Fatalf("re-decision %+v (changed=%v)", d, changed)
+	}
+}
+
+// TestReconfigFailedNoOutstanding: with no uncommitted reconfiguration
+// the call is a no-op.
+func TestReconfigFailedNoOutstanding(t *testing.T) {
+	lib := paperLib(t)
+	mgr, _ := New(lib, DefaultConfig())
+	if retry, degraded := mgr.ReconfigFailed(0); retry != 0 || degraded {
+		t.Fatalf("no-op failure returned %v %v", retry, degraded)
+	}
+	mgr.Decide(0, 100)
+	mgr.ReconfigSucceeded(0)
+	// Outcome already committed: a late failure report changes nothing.
+	if retry, _ := mgr.ReconfigFailed(1); retry != 0 {
+		t.Fatal("failure after success rolled something back")
+	}
+	if _, have := mgr.Current(); !have {
+		t.Fatal("committed decision lost")
+	}
+}
+
+// TestDegradeAfterRetryBudget: MaxReconfigRetries consecutive failures
+// ban Fixed-Pruning; the next decision degrades to Flexible.
+func TestDegradeAfterRetryBudget(t *testing.T) {
+	lib := paperLib(t)
+	cfg := DefaultConfig()
+	cfg.MaxReconfigRetries = 3
+	cfg.RetryBackoff = 100 * time.Millisecond
+	cfg.FixedBanMultiple = 20
+	mgr, err := New(lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	wantRetry := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 100 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		d, changed := mgr.Decide(now, 100)
+		if !changed || !d.Reconfigured || d.Kind != Fixed {
+			t.Fatalf("attempt %d decision %+v (changed=%v)", i, d, changed)
+		}
+		retry, degraded := mgr.ReconfigFailed(now)
+		if degraded != (i == 2) {
+			t.Fatalf("attempt %d degraded = %v", i, degraded)
+		}
+		if retry != wantRetry[i] {
+			t.Fatalf("attempt %d retry = %v, want %v", i, retry, wantRetry[i])
+		}
+		now += retry.Seconds()
+	}
+	if mgr.Degradations() != 1 {
+		t.Fatalf("degradations = %d", mgr.Degradations())
+	}
+	if !mgr.DegradedAt(now) {
+		t.Fatal("fixed not banned after budget exhausted")
+	}
+	// The fallback decision serves from Flexible even though the
+	// switch-interval rule says Fixed, and the log marks it degraded.
+	d, changed := mgr.Decide(now, 100)
+	if !changed || d.Kind != Flexible {
+		t.Fatalf("fallback decision %+v (changed=%v)", d, changed)
+	}
+	log := mgr.Log()
+	if len(log) == 0 || !log[len(log)-1].Degraded {
+		t.Fatal("fallback decision not marked degraded in log")
+	}
+	mgr.ReconfigSucceeded(now)
+	// After the ban expires, Fixed becomes available again.
+	after := now + cfg.FixedBanMultiple*lib.ReconfigTime.Seconds() + 1
+	if mgr.DegradedAt(after) {
+		t.Fatal("ban never expires")
+	}
+}
+
+// TestReconfigSucceededResetsStreak: a success between failures resets
+// the backoff and the retry budget.
+func TestReconfigSucceededResetsStreak(t *testing.T) {
+	lib := paperLib(t)
+	cfg := DefaultConfig()
+	cfg.MaxReconfigRetries = 3
+	cfg.RetryBackoff = 50 * time.Millisecond
+	mgr, _ := New(lib, cfg)
+
+	mgr.Decide(0, 100)
+	if retry, _ := mgr.ReconfigFailed(0); retry != 50*time.Millisecond {
+		t.Fatalf("first retry %v", retry)
+	}
+	mgr.Decide(0.1, 100)
+	if retry, _ := mgr.ReconfigFailed(0.1); retry != 100*time.Millisecond {
+		t.Fatalf("second retry %v", retry)
+	}
+	mgr.Decide(0.3, 100)
+	mgr.ReconfigSucceeded(0.3)
+	// Next failure starts the backoff over.
+	crit := cfg.CriteriaMultiple * lib.ReconfigTime.Seconds()
+	mgr.Decide(crit*5, lib.BaselineFPS()*2) // slow switch: Fixed reconfig
+	if retry, degraded := mgr.ReconfigFailed(crit * 5); retry != 50*time.Millisecond || degraded {
+		t.Fatalf("post-success retry %v degraded %v", retry, degraded)
+	}
+	if mgr.Degradations() != 0 {
+		t.Fatalf("degradations = %d", mgr.Degradations())
+	}
+}
+
+// TestBackoffCapped: the retry delay doubles but never exceeds
+// RetryBackoffMax.
+func TestBackoffCapped(t *testing.T) {
+	lib := paperLib(t)
+	cfg := DefaultConfig()
+	cfg.MaxReconfigRetries = 10
+	cfg.RetryBackoff = 100 * time.Millisecond
+	cfg.RetryBackoffMax = 250 * time.Millisecond
+	mgr, _ := New(lib, cfg)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		250 * time.Millisecond, 250 * time.Millisecond}
+	now := 0.0
+	for i, w := range want {
+		mgr.Decide(now, 100)
+		retry, _ := mgr.ReconfigFailed(now)
+		if retry != w {
+			t.Fatalf("failure %d retry = %v, want %v", i, retry, w)
+		}
+		now += retry.Seconds()
+	}
+}
+
+func TestDegradationConfigValidation(t *testing.T) {
+	lib := paperLib(t)
+	bad := DefaultConfig()
+	bad.MaxReconfigRetries = -1
+	if _, err := New(lib, bad); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	bad = DefaultConfig()
+	bad.RetryBackoff = -time.Second
+	if _, err := New(lib, bad); err == nil {
+		t.Fatal("negative backoff accepted")
+	}
+	bad = DefaultConfig()
+	bad.FixedBanMultiple = -2
+	if _, err := New(lib, bad); err == nil {
+		t.Fatal("negative ban multiple accepted")
 	}
 }
 

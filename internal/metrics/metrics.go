@@ -20,11 +20,34 @@ type Accumulator struct {
 	Seconds     float64
 	Switches    int
 	Reconfigs   int
+	Faults      FaultStats
 
 	// queue occupancy integral (frames·seconds) and peak, for latency
 	// estimates via Little's law.
 	queueIntegral float64
 	maxQueue      float64
+}
+
+// FaultStats counts injected faults and the degradation reactions of a
+// chaos run (all zero in fault-free runs).
+type FaultStats struct {
+	// ReconfigFailures: attempted FPGA reconfigurations that failed (the
+	// stall was paid, the old configuration kept serving).
+	ReconfigFailures int
+	// ReconfigStalls: reconfigurations that succeeded but took longer
+	// than their nominal time.
+	ReconfigStalls int
+	// SensorDropouts: workload observations lost (the controller pinned
+	// its last-known-good configuration).
+	SensorDropouts int
+	// SensorSpikes: workload observations perturbed by noise.
+	SensorSpikes int
+	// AccuracyDrifts: accounting steps whose measured accuracy was
+	// perturbed by evaluator drift.
+	AccuracyDrifts int
+	// Degradations: times a Runtime Manager exhausted its reconfiguration
+	// retry budget and fell back to the Flexible accelerator.
+	Degradations int
 }
 
 // AddQueue records the queue occupancy over a dt-long step.
@@ -59,6 +82,7 @@ type RunStats struct {
 	PowerEff     float64 // processed inferences per joule
 	Switches     int
 	Reconfigs    int
+	Faults       FaultStats
 	// AvgQueueFrames is the time-averaged server queue occupancy;
 	// AvgLatencyMS the implied mean queueing delay of a processed frame
 	// (Little's law: L = λ·W); MaxQueueFrames the peak occupancy.
@@ -76,6 +100,7 @@ func (a *Accumulator) Finalize() RunStats {
 		EnergyJ:   a.EnergyJ,
 		Switches:  a.Switches,
 		Reconfigs: a.Reconfigs,
+		Faults:    a.Faults,
 	}
 	if a.Arrived > 0 {
 		s.FrameLossPct = 100 * a.Dropped / a.Arrived
@@ -130,12 +155,27 @@ func Mean(runs []RunStats) (RunStats, error) {
 		}
 	}
 	var sw, rc float64
+	var ft [6]float64
 	for _, r := range runs {
 		sw += float64(r.Switches)
 		rc += float64(r.Reconfigs)
+		ft[0] += float64(r.Faults.ReconfigFailures)
+		ft[1] += float64(r.Faults.ReconfigStalls)
+		ft[2] += float64(r.Faults.SensorDropouts)
+		ft[3] += float64(r.Faults.SensorSpikes)
+		ft[4] += float64(r.Faults.AccuracyDrifts)
+		ft[5] += float64(r.Faults.Degradations)
 	}
 	m.Switches = int(math.Round(sw / n))
 	m.Reconfigs = int(math.Round(rc / n))
+	m.Faults = FaultStats{
+		ReconfigFailures: int(math.Round(ft[0] / n)),
+		ReconfigStalls:   int(math.Round(ft[1] / n)),
+		SensorDropouts:   int(math.Round(ft[2] / n)),
+		SensorSpikes:     int(math.Round(ft[3] / n)),
+		AccuracyDrifts:   int(math.Round(ft[4] / n)),
+		Degradations:     int(math.Round(ft[5] / n)),
+	}
 	return m, nil
 }
 

@@ -87,16 +87,7 @@ func (p *Pool) React(now, incomingFPS float64) (edge.Serving, time.Duration, boo
 	var stall time.Duration
 	for _, b := range p.boards {
 		d, changed := b.mgr.Decide(now, share)
-		e := p.lib.Entries[d.Entry]
-		if d.Kind == manager.Flexible {
-			b.fps = e.FlexFPS
-			b.idle = p.lib.Flexible.IdlePower()
-		} else {
-			b.fps = e.FixedFPS
-			b.idle = e.Fixed.IdlePower()
-		}
-		b.accuracy = e.Accuracy
-		b.powerAt = e.Fixed.PowerAt
+		p.apply(b, d)
 		if changed {
 			switched = true
 			if d.Reconfigured {
@@ -130,4 +121,73 @@ func (p *Pool) React(now, incomingFPS float64) (edge.Serving, time.Duration, boo
 		Label:     fmt.Sprintf("pool[%d]", len(boards)),
 	}
 	return s, stall, switched, reconf
+}
+
+// apply caches a board's serving parameters for a decision.
+func (p *Pool) apply(b *board, d manager.Decision) {
+	e := p.lib.Entries[d.Entry]
+	if d.Kind == manager.Flexible {
+		b.fps = e.FlexFPS
+		b.idle = p.lib.Flexible.IdlePower()
+	} else {
+		b.fps = e.FixedFPS
+		b.idle = e.Fixed.IdlePower()
+	}
+	b.accuracy = e.Accuracy
+	b.powerAt = e.Fixed.PowerAt
+}
+
+// ReconfigFailed implements edge.ReconfigAware for the pool. The fault
+// model is pool-coarse: one failed reconfiguration event fails every
+// board whose last React decision attempted an FPGA reconfiguration
+// (boards without an outstanding reconfiguration no-op). Each failed
+// board's manager rolls back and its serving cache is restored to the
+// pre-decision configuration. The returned backoff is the longest over
+// the failed boards; degraded reports whether any board exhausted its
+// retry budget this round.
+func (p *Pool) ReconfigFailed(now float64) (time.Duration, bool) {
+	var retry time.Duration
+	degraded := false
+	for _, b := range p.boards {
+		r, d := b.mgr.ReconfigFailed(now)
+		if r > retry {
+			retry = r
+		}
+		if d {
+			degraded = true
+		}
+		if r > 0 || d {
+			// Rolled back: restore the cached serving parameters.
+			if cur, ok := b.mgr.Current(); ok {
+				p.apply(b, cur)
+			}
+		}
+	}
+	return retry, degraded
+}
+
+// ReconfigSucceeded implements edge.ReconfigAware: every board with an
+// outstanding reconfiguration commits it.
+func (p *Pool) ReconfigSucceeded(now float64) {
+	for _, b := range p.boards {
+		b.mgr.ReconfigSucceeded(now)
+	}
+}
+
+// ReconfigFailures sums failed reconfiguration attempts across boards.
+func (p *Pool) ReconfigFailures() int {
+	total := 0
+	for _, b := range p.boards {
+		total += b.mgr.ReconfigFailures()
+	}
+	return total
+}
+
+// Degradations sums retry-budget exhaustions across boards.
+func (p *Pool) Degradations() int {
+	total := 0
+	for _, b := range p.boards {
+		total += b.mgr.Degradations()
+	}
+	return total
 }

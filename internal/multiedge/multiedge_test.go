@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/accuracy"
 	"repro/internal/edge"
+	"repro/internal/fault"
 	"repro/internal/library"
 	"repro/internal/manager"
 	"repro/internal/model"
@@ -144,5 +145,68 @@ func TestPoolCounters(t *testing.T) {
 	}
 	if pool.Reconfigs() > pool.Switches() {
 		t.Fatal("more reconfigs than switches")
+	}
+}
+
+// TestChaosPoolInvariants: no fault plan may drive the pool's accounting
+// out of its physical envelope. Over a matrix of workload/fault seeds we
+// assert: loss and QoE stay in [0,100], nothing goes negative, the
+// cumulative trace counters are monotone, and frame conservation holds.
+func TestChaosPoolInvariants(t *testing.T) {
+	lib := paperLib(t)
+	plan, err := fault.ParsePlan(
+		"reconfig-fail:p=0.5;reconfig-stall:p=0.3;sensor-dropout:p=0.2;" +
+			"sensor-spike:p=0.3,mag=0.5;accuracy-drift:p=0.1,mag=-0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		seed := seed
+		p, err := NewPool(lib, 3, manager.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := edge.Run(edge.Scenario2(), p, edge.SimConfig{
+			Seed:        seed,
+			RecordTrace: true,
+			FaultPlan:   plan,
+			FaultSeed:   seed * 101,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FrameLossPct < 0 || res.FrameLossPct > 100 {
+			t.Fatalf("seed %d: loss %.3f%% out of [0,100]", seed, res.FrameLossPct)
+		}
+		if res.QoEPct < 0 || res.QoEPct > 100 {
+			t.Fatalf("seed %d: QoE %.3f%% out of [0,100]", seed, res.QoEPct)
+		}
+		if res.Arrived < 0 || res.Processed < 0 || res.Dropped < 0 || res.EnergyJ < 0 {
+			t.Fatalf("seed %d: negative totals: %+v", seed, res.RunStats)
+		}
+		if res.Processed+res.Dropped > res.Arrived+1e-6 {
+			t.Fatalf("seed %d: conservation violated: processed %.3f + dropped %.3f > arrived %.3f",
+				seed, res.Processed, res.Dropped, res.Arrived)
+		}
+		var prev edge.TracePoint
+		for i, tp := range res.Trace {
+			if tp.ArrivedCum < prev.ArrivedCum || tp.ProcessedCum < prev.ProcessedCum || tp.DroppedCum < prev.DroppedCum {
+				t.Fatalf("seed %d: cumulative counter decreased at trace[%d]", seed, i)
+			}
+			if tp.LossPct < 0 || tp.LossPct > 100 || tp.QoEPct < 0 || tp.QoEPct > 100 {
+				t.Fatalf("seed %d: trace[%d] loss/QoE out of range: %+v", seed, i, tp)
+			}
+			if tp.Accuracy < 0 || tp.Accuracy > 1 {
+				t.Fatalf("seed %d: trace[%d] accuracy %.4f out of [0,1]", seed, i, tp.Accuracy)
+			}
+			prev = tp
+		}
+		if p.ReconfigFailures() < 0 || p.Degradations() < 0 {
+			t.Fatalf("seed %d: negative pool fault counters", seed)
+		}
+		if res.Faults.ReconfigFailures > 0 && p.ReconfigFailures() == 0 {
+			t.Fatalf("seed %d: injector reports %d reconfig failures but no board rolled back",
+				seed, res.Faults.ReconfigFailures)
+		}
 	}
 }

@@ -19,6 +19,9 @@ type Engine struct {
 	// scenario replays schedule millions of events per run) does not
 	// allocate per Schedule call.
 	free []*event
+	// canceled counts queued events whose fn was cleared by Cancel; they
+	// still occupy the heap until popped but never run.
+	canceled int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -30,11 +33,16 @@ func (e *Engine) Now() float64 { return e.now }
 // Schedule enqueues fn to run at absolute time t. Events at equal times run
 // in scheduling order (FIFO). Scheduling in the past is an error.
 func (e *Engine) Schedule(t float64, fn func()) error {
+	_, err := e.schedule(t, fn)
+	return err
+}
+
+func (e *Engine) schedule(t float64, fn func()) (*event, error) {
 	if fn == nil {
-		return fmt.Errorf("sim: nil event function")
+		return nil, fmt.Errorf("sim: nil event function")
 	}
 	if t < e.now {
-		return fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
 	e.seq++
 	var ev *event
@@ -46,7 +54,7 @@ func (e *Engine) Schedule(t float64, fn func()) error {
 		ev = &event{time: t, seq: e.seq, fn: fn}
 	}
 	heap.Push(&e.queue, ev)
-	return nil
+	return ev, nil
 }
 
 // After enqueues fn to run delay seconds from now.
@@ -55,6 +63,38 @@ func (e *Engine) After(delay float64, fn func()) error {
 		return fmt.Errorf("sim: negative delay %v", delay)
 	}
 	return e.Schedule(e.now+delay, fn)
+}
+
+// Handle identifies a scheduled event for cancellation. The zero Handle
+// is inert: Cancel on it reports false.
+type Handle struct {
+	ev  *event
+	seq int64
+}
+
+// ScheduleCancelable is Schedule returning a Handle the caller may Cancel
+// before the event fires (e.g. a reconfiguration-retry timer superseded
+// by a fresh workload reaction).
+func (e *Engine) ScheduleCancelable(t float64, fn func()) (Handle, error) {
+	ev, err := e.schedule(t, fn)
+	if err != nil {
+		return Handle{}, err
+	}
+	return Handle{ev: ev, seq: ev.seq}, nil
+}
+
+// Cancel prevents a pending event from running. It reports whether the
+// event was actually canceled: a Handle whose event already ran — or
+// whose *event storage the free list has since recycled into a different
+// event — is recognized by its stale sequence number and left alone, so
+// canceling late can never kill an unrelated event.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.seq != h.seq || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil
+	e.canceled++
+	return true
 }
 
 // Run executes events in time order until the queue empties or the clock
@@ -67,10 +107,16 @@ func (e *Engine) Run(until float64) {
 			break
 		}
 		heap.Pop(&e.queue)
-		e.now = next.time
 		fn := next.fn
 		next.fn = nil // drop the closure before recycling
 		e.free = append(e.free, next)
+		if fn == nil {
+			// Canceled while queued: recycle without running and without
+			// advancing the clock.
+			e.canceled--
+			continue
+		}
+		e.now = next.time
 		fn()
 	}
 	if e.now < until {
@@ -78,8 +124,9 @@ func (e *Engine) Run(until float64) {
 	}
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of queued events that will still run
+// (canceled events awaiting recycling are not counted).
+func (e *Engine) Pending() int { return len(e.queue) - e.canceled }
 
 type event struct {
 	time float64

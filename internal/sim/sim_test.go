@@ -122,6 +122,101 @@ func TestOrderingQuick(t *testing.T) {
 	}
 }
 
+func TestCancelPendingEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h, err := e.ScheduleCancelable(5, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if !e.Cancel(h) {
+		t.Fatal("cancel of pending event failed")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d", e.Pending())
+	}
+	e.Run(10)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Canceling twice (or after the queue drained) is a no-op.
+	if e.Cancel(h) {
+		t.Fatal("second cancel reported success")
+	}
+	// The clock still reaches until: canceled events don't advance it.
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+// TestCancelDoesNotResurrectRecycledEvent: after an event runs, its
+// storage returns to the free list and may back a brand-new event. A
+// stale Handle to the old event must not cancel — or otherwise disturb —
+// the new one (the event free-list never resurrects a canceled event).
+func TestCancelDoesNotResurrectRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	h, err := e.ScheduleCancelable(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2) // fires; its *event is recycled into the free list
+
+	// The next schedule reuses the freed event storage.
+	fired := false
+	h2, err := e.ScheduleCancelable(3, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ev != h.ev {
+		t.Skip("free list did not recycle the event; resurrection impossible")
+	}
+	if e.Cancel(h) {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	e.Run(4)
+	if !fired {
+		t.Fatal("recycled event killed by stale cancel")
+	}
+}
+
+// TestCanceledEventRecyclesCleanly: a canceled event's storage goes back
+// to the free list on pop and serves later schedules normally.
+func TestCanceledEventRecyclesCleanly(t *testing.T) {
+	e := NewEngine()
+	h, _ := e.ScheduleCancelable(1, func() { t.Error("canceled event ran") })
+	e.Cancel(h)
+	count := 0
+	if err := e.Schedule(2, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+	// Storage freed by the canceled pop now backs a new event.
+	if err := e.Schedule(4, func() { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestScheduleCancelableValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ScheduleCancelable(1, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	e.Run(5)
+	if _, err := e.ScheduleCancelable(1, func() {}); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+	if e.Cancel(Handle{}) {
+		t.Fatal("zero handle canceled something")
+	}
+}
+
 func TestRNGDeterministicStreams(t *testing.T) {
 	a := RNG(1, "x").Float64()
 	b := RNG(1, "x").Float64()

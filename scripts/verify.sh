@@ -23,7 +23,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (concurrent packages)"
-go test -race ./internal/tensor/... ./internal/nn/... ./internal/train/...
+echo "== go test -race (concurrent + serving packages)"
+make test-race
+
+echo "== chaos suite (seeded fault injection)"
+make test-chaos
 
 echo "verify: OK"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race test-chaos bench verify
+.PHONY: all build test race test-race test-chaos bench bench-all verify
 
 all: build
 
@@ -15,11 +15,14 @@ test:
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/...
 
-# Race-detector pass over the serving stack too (edge simulation, runtime
-# manager, multi-board pool) on top of the concurrent compute packages.
+# Race-detector pass over the serving stack and the parallel design-time
+# pipeline (library sweep, memoized explorer, experiment harness) on top
+# of the concurrent compute packages.
 test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
-		./internal/edge/... ./internal/manager/... ./internal/multiedge/...
+		./internal/edge/... ./internal/manager/... ./internal/multiedge/... \
+		./internal/library/... ./internal/explore/... ./internal/parallel/... \
+		./internal/sim/... ./internal/experiments/...
 
 # Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
 # across the fault layer, edge simulation, manager and pool.
@@ -28,7 +31,13 @@ test-chaos:
 	$(GO) test -count=1 ./internal/fault/...
 	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
 
+# Tracked benchmark baseline: key design-time and substrate benchmarks,
+# recorded to BENCH_PR3.json for regression diffing.
 bench:
+	./scripts/bench.sh
+
+# Full sweep over every benchmark in the repo (paper figures included).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Everything CI would check: gofmt, vet, build, tests, race detector.

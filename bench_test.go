@@ -9,6 +9,7 @@ package adaflow
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/dataset"
@@ -472,7 +473,10 @@ func BenchmarkDataflowPipelineSim(b *testing.B) {
 }
 
 // BenchmarkLibraryGenerate measures the full design-time sweep (18 pruned
-// versions, 18 fixed accelerators, one flexible) at paper scale.
+// versions, 18 fixed accelerators, one flexible) at paper scale, serial
+// versus fanned over all cores. scripts/bench.sh records both in
+// BENCH_PR3.json; the serial number is the PR 3 baseline the parallel
+// sweep is judged against.
 func BenchmarkLibraryGenerate(b *testing.B) {
 	p := experiments.Pairs[0]
 	m, err := model.CNVW2A2(p.Dataset, p.Classes, 1)
@@ -483,12 +487,53 @@ func BenchmarkLibraryGenerate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := library.Generate(m, library.Config{Evaluator: ev}); err != nil {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := library.Generate(m, library.Config{Evaluator: ev, Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreTargetFPS measures one greedy folding search. The cold
+// variant clears the evaluation cache every iteration (full incremental
+// search from scratch); the warm variant re-runs the same search against a
+// primed cache, isolating the memoization win.
+func BenchmarkExploreTargetFPS(b *testing.B) {
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const target = 1800
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			explore.ResetCache()
+			if _, err := explore.TargetFPS(m, target, explore.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		explore.ResetCache()
+		if _, err := explore.TargetFPS(m, target, explore.Options{}); err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := explore.TargetFPS(m, target, explore.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func newCalibrated(p experiments.Pair) (Evaluator, error) {

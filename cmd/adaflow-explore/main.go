@@ -1,11 +1,16 @@
 // Command adaflow-explore searches the PE/SIMD folding design space of a
-// CNV accelerator: either hit a throughput target with minimal unfolding
-// or maximize throughput within a LUT budget.
+// CNV accelerator: either hit one or more throughput targets with minimal
+// unfolding or maximize throughput within a LUT budget.
 //
 // Usage:
 //
 //	adaflow-explore [-model CNVW2A2|CNVW1A2] [-dataset cifar10|gtsrb]
-//	                [-target-fps F | -lut-budget N] [-flexible]
+//	                [-target-fps F[,F...] | -lut-budget N] [-flexible]
+//	                [-jobs N] [-v]
+//
+// A comma-separated -target-fps list explores the whole throughput
+// frontier, fanning the searches over -jobs workers; results are printed
+// in target order and are identical at any job count.
 package main
 
 import (
@@ -13,6 +18,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/explore"
 	"repro/internal/finn"
@@ -24,11 +32,16 @@ func main() {
 	log.SetPrefix("adaflow-explore: ")
 	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
 	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
-	targetFPS := flag.Float64("target-fps", 0, "throughput target (frames per second)")
+	targetFPS := flag.String("target-fps", "", "throughput target(s) in frames per second, comma-separated")
 	lutBudget := flag.Int("lut-budget", 0, "LUT budget (alternative to -target-fps)")
 	flexible := flag.Bool("flexible", false, "explore the flexible (runtime-controllable) variant")
-	describe := flag.Bool("describe", false, "print the per-module dataflow map of the result")
+	describe := flag.Bool("describe", false, "print the per-module dataflow map of the result (single target only)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent searches for a multi-target frontier sweep")
+	verbose := flag.Bool("v", false, "report evaluation-cache statistics")
 	flag.Parse()
+	if *jobs < 1 {
+		log.Fatalf("-jobs must be >= 1, got %d", *jobs)
+	}
 
 	classes := 10
 	if *ds == "gtsrb" {
@@ -48,25 +61,66 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var targets []float64
+	if *targetFPS != "" {
+		for _, s := range strings.Split(*targetFPS, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad -target-fps entry %q: %v", s, err)
+			}
+			targets = append(targets, f)
+		}
+	}
+
 	opts := explore.Options{Flexible: *flexible, MaxIterations: 10000}
-	var res *explore.Result
 	switch {
-	case *targetFPS > 0 && *lutBudget > 0:
+	case len(targets) > 0 && *lutBudget > 0:
 		log.Fatal("use either -target-fps or -lut-budget, not both")
-	case *targetFPS > 0:
-		res, err = explore.TargetFPS(m, *targetFPS, opts)
+	case len(targets) > 1:
+		pts := explore.Frontier(m, targets, opts, *jobs)
+		fmt.Printf("%-12s %-12s %-8s %-9s %-9s %-6s %-6s %s\n",
+			"target", "FPS", "steps", "LUT", "FF", "BRAM", "DSP", "bottleneck")
+		for _, pt := range pts {
+			if pt.Result == nil {
+				fmt.Printf("%-12.1f (no design point: %v)\n", pt.TargetFPS, pt.Err)
+				continue
+			}
+			r := pt.Result
+			note := ""
+			if pt.Err != nil {
+				note = "  (best effort)"
+			}
+			fmt.Printf("%-12.1f %-12.1f %-8d %-9d %-9d %-6d %-6d %s%s\n",
+				pt.TargetFPS, r.FPS, r.Iterations, r.Res.LUT, r.Res.FF, r.Res.BRAM, r.Res.DSP,
+				r.Bottleneck, note)
+		}
+	case len(targets) == 1:
+		res, err := explore.TargetFPS(m, targets[0], opts)
+		report(m, res, err, *flexible, *describe)
 	case *lutBudget > 0:
-		res, err = explore.MaxFPSWithin(m, *lutBudget, opts)
+		res, err := explore.MaxFPSWithin(m, *lutBudget, opts)
+		report(m, res, err, *flexible, *describe)
 	default:
 		log.Fatal("specify -target-fps or -lut-budget")
 	}
+	if *verbose {
+		hits, misses := explore.CacheStats()
+		total := hits + misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hits) / float64(total)
+		}
+		fmt.Printf("evaluation cache: %d hits / %d evaluations (%.1f%% hit rate)\n", hits, total, pct)
+	}
+}
+
+func report(m *model.Model, res *explore.Result, err error, flexible, describe bool) {
 	if err != nil {
 		log.Printf("search note: %v", err)
 	}
 	if res == nil {
 		log.Fatal("no design point found")
 	}
-
 	fmt.Printf("design point after %d unfolding steps (bottleneck: %s)\n", res.Iterations, res.Bottleneck)
 	fmt.Printf("  throughput: %.1f FPS\n", res.FPS)
 	fmt.Printf("  resources:  LUT=%d FF=%d BRAM=%d DSP=%d\n",
@@ -75,9 +129,8 @@ func main() {
 	fmt.Printf("  conv SIMD:  %v\n", res.Folding.ConvSIMD)
 	fmt.Printf("  dense PE:   %v\n", res.Folding.DensePE)
 	fmt.Printf("  dense SIMD: %v\n", res.Folding.DenseSIMD)
-
-	if *describe {
-		df, err := finn.Map(m, res.Folding, finn.Options{Flexible: *flexible})
+	if describe {
+		df, err := finn.Map(m, res.Folding, finn.Options{Flexible: flexible})
 		if err != nil {
 			log.Fatal(err)
 		}

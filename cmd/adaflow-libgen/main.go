@@ -5,6 +5,7 @@
 // Usage:
 //
 //	adaflow-libgen [-model CNVW2A2|CNVW1A2] [-dataset cifar10|gtsrb]
+//	               [-jobs N] [-v] [-save-table out.json]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/library"
@@ -27,9 +29,14 @@ func main() {
 	ds := flag.String("dataset", "cifar10", "dataset (cifar10 or gtsrb)")
 	saveTable := flag.String("save-table", "", "write the library table as JSON to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the tensor compute core and model evaluation")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent jobs for the library sweep itself (1 = serial; output is identical at any value)")
+	verbose := flag.Bool("v", false, "report generation wall-clock and synthesis-memo statistics")
 	flag.Parse()
 	if *workers < 1 {
 		log.Fatalf("-workers must be >= 1, got %d", *workers)
+	}
+	if *jobs < 1 {
+		log.Fatalf("-jobs must be >= 1, got %d", *jobs)
 	}
 	// Size the parallel GEMM/im2col pool; trained evaluators additionally
 	// fan test-set evaluation out over the same number of goroutines (see
@@ -57,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	lib, err := library.Generate(m, library.Config{Evaluator: ev, Workers: *jobs})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,6 +81,11 @@ func main() {
 			e.FixedFPS, e.FlexFPS, e.Fixed.Res.LUT, e.Fixed.TotalEnergyPerInference()*1e3)
 	}
 	fmt.Printf("\ndistinct versions: %d of %d entries\n", lib.DistinctVersions(), len(lib.Entries))
+	if *verbose {
+		s := lib.Stats
+		fmt.Printf("generated in %v on %d jobs: %d distinct syntheses for %d rates (%d memo hits)\n",
+			s.Wall.Round(10*time.Microsecond), s.Workers, s.DistinctSynth, len(lib.Entries), s.SynthReused)
+	}
 	if err := lib.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "library validation: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON map of benchmark name -> metrics, so benchmark baselines can be
+// committed and diffed (scripts/bench.sh uses it to write BENCH_PR3.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson [-o out.json]
+//	benchjson [-o out.json] bench-output.txt
+//
+// Standard columns (ns/op, B/op, allocs/op) and custom b.ReportMetric
+// units are all captured; the trailing -N GOMAXPROCS suffix is stripped
+// from names so baselines compare across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkLibraryGenerate/serial-4   7   163348358 ns/op   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procSuffix is the -N GOMAXPROCS tail Go appends to benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		log.Fatal("at most one input file")
+	}
+
+	results, err := Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Result holds one benchmark's metrics: the iteration count plus every
+// "value unit" pair on its output line, keyed by unit.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output and returns name -> Result. A
+// benchmark that appears multiple times (e.g. -count>1) keeps the run
+// with the lowest ns/op, the conventional best-of reading.
+func Parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", sc.Text(), err)
+		}
+		metrics, err := parseMetrics(m[3])
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		if prev, ok := results[name]; ok && prev.Metrics["ns/op"] <= metrics["ns/op"] {
+			continue
+		}
+		results[name] = Result{Iterations: iters, Metrics: metrics}
+	}
+	return results, sc.Err()
+}
+
+// parseMetrics splits the tail of a benchmark line into unit -> value.
+// Fields come in pairs: "163348358 ns/op 12 B/op 3 allocs/op".
+func parseMetrics(tail string) (map[string]float64, error) {
+	fields := strings.Fields(tail)
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("odd metric field count in %q", tail)
+	}
+	metrics := make(map[string]float64, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metric value %q: %v", fields[i], err)
+		}
+		metrics[fields[i+1]] = v
+	}
+	return metrics, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkLibraryGenerate/serial-4         	       7	 163348358 ns/op	    1200 B/op	      30 allocs/op
+BenchmarkLibraryGenerate/parallel-4       	      25	  47051234 ns/op	    1300 B/op	      31 allocs/op
+BenchmarkAblationFoldingExplorer-4        	      50	  21054321 ns/op	   45056 LUT-at-460fps	   92160 LUT-at-1800fps
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	serial, ok := got["BenchmarkLibraryGenerate/serial"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from name")
+	}
+	if serial.Iterations != 7 || serial.Metrics["ns/op"] != 163348358 {
+		t.Fatalf("serial = %+v", serial)
+	}
+	abl := got["BenchmarkAblationFoldingExplorer"]
+	if abl.Metrics["LUT-at-460fps"] != 45056 || abl.Metrics["LUT-at-1800fps"] != 92160 {
+		t.Fatalf("custom ReportMetric units lost: %+v", abl.Metrics)
+	}
+	if abl.Metrics["allocs/op"] != 0 {
+		t.Fatal("unexpected allocs metric on -benchmem-less line")
+	}
+}
+
+// With -count>1 the same benchmark appears repeatedly; the parser keeps
+// the fastest run.
+func TestParseKeepsFastestOfRepeats(t *testing.T) {
+	in := `BenchmarkGemm-8   10   200 ns/op
+BenchmarkGemm-8   12   150 ns/op
+BenchmarkGemm-8   11   180 ns/op
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkGemm"]
+	if r.Metrics["ns/op"] != 150 || r.Iterations != 12 {
+		t.Fatalf("kept %+v, want the 150 ns/op run", r)
+	}
+}
+
+func TestParseRejectsMalformedMetrics(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-4  5  123 ns/op trailing\n")); err == nil {
+		t.Fatal("odd field count accepted")
+	}
+}

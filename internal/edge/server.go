@@ -8,6 +8,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -361,26 +362,40 @@ func copyFaultCounts(acc *metrics.Accumulator, inj *fault.Injector) {
 }
 
 // RunRepeated averages n runs with seeds seed, seed+1, … and returns the
-// mean stats plus the individual runs.
+// mean stats plus the individual runs. Runs are independent simulations
+// (each gets its own controller, RNG, engine, and fault injector over a
+// read-only scenario and library), so they execute concurrently over up to
+// MaxParallelRuns goroutines; per-run stats land in seed-indexed slots and
+// the mean is taken in seed order, making the result identical to the
+// serial loop. Controllers are still constructed serially in seed order —
+// mk closures are not required to be concurrency-safe.
 func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64, cfg SimConfig) (metrics.RunStats, []metrics.RunStats, error) {
 	if n <= 0 {
 		return metrics.RunStats{}, nil, fmt.Errorf("edge: non-positive run count %d", n)
 	}
-	runs := make([]metrics.RunStats, 0, n)
-	for i := 0; i < n; i++ {
+	ctls := make([]Controller, n)
+	for i := range ctls {
 		ctl, err := mk()
 		if err != nil {
 			return metrics.RunStats{}, nil, err
 		}
+		ctls[i] = ctl
+	}
+	runs := make([]metrics.RunStats, n)
+	err := parallel.ForEachErr(n, MaxParallelRuns(), func(i int) error {
 		c := cfg
 		c.Seed = seed + int64(i)
 		c.FaultSeed = cfg.FaultSeed + int64(i)
 		c.RecordTrace = false
-		r, err := Run(scn, ctl, c)
+		r, err := Run(scn, ctls[i], c)
 		if err != nil {
-			return metrics.RunStats{}, nil, err
+			return err
 		}
-		runs = append(runs, r.RunStats)
+		runs[i] = r.RunStats
+		return nil
+	})
+	if err != nil {
+		return metrics.RunStats{}, nil, err
 	}
 	mean, err := metrics.Mean(runs)
 	return mean, runs, err
@@ -464,22 +479,29 @@ func (c *AdaFlowController) React(now, incomingFPS float64) (Serving, time.Durat
 
 // powerAtChannels returns a power model for the flexible accelerator
 // configured to an entry's channels. The flexible accelerator's energy per
-// inference depends on the loaded model's MACs; we reconfigure a cloned
-// channel setting around each query.
+// inference depends on the loaded model's MACs, which the library
+// generator precomputes per entry (Entry.FlexEnergyPerInfJ) — so the
+// closure is pure and concurrent simulations can query it without touching
+// the shared flexible dataflow. It reproduces synth.Accelerator.PowerAt
+// exactly: idle power plus per-inference energy times the frame rate,
+// clamped to the entry's flexible capacity.
 func powerAtChannels(lib *library.Library, e library.Entry) func(float64) float64 {
 	flex := lib.Flexible
+	idle := flex.IdlePower()
+	eInf := e.FlexEnergyPerInfJ
+	if eInf <= 0 {
+		// Library predates the precomputed column: fall back to the
+		// worst-case (unpruned) energy rather than failing mid-simulation.
+		eInf = flex.EnergyPerInference()
+	}
+	capFPS := e.FlexFPS
 	return func(fps float64) float64 {
-		df := flex.Dataflow
-		old := append([]int(nil), df.CurChannels...)
-		if err := df.SetChannels(e.Channels); err != nil {
-			// Constraint-checked at library generation; keep serving with
-			// the worst-case energy rather than failing mid-simulation.
-			return flex.PowerAt(fps)
+		if fps < 0 {
+			fps = 0
 		}
-		p := flex.PowerAt(fps)
-		if err := df.SetChannels(old); err != nil {
-			return p
+		if fps > capFPS {
+			fps = capFPS
 		}
-		return p
+		return idle + eInf*fps
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/library"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // Pair is one dataset/CNN combination of the paper's methodology.
@@ -48,9 +49,18 @@ func (p Pair) build() (*model.Model, error) {
 	}
 }
 
+// libSlot is one pair's singleflight cell: the mutex only guards the map,
+// so different pairs generate concurrently while duplicate requests for
+// the same pair block on its Once.
+type libSlot struct {
+	once sync.Once
+	lib  *library.Library
+	err  error
+}
+
 var (
 	libMu    sync.Mutex
-	libCache = map[string]*library.Library{}
+	libCache = map[string]*libSlot{}
 )
 
 // Lib returns (and caches) the generated AdaFlow library for a pair. The
@@ -58,10 +68,17 @@ var (
 // artifact, exactly as in the paper's flow.
 func Lib(p Pair) (*library.Library, error) {
 	libMu.Lock()
-	defer libMu.Unlock()
-	if l, ok := libCache[p.String()]; ok {
-		return l, nil
+	s, ok := libCache[p.String()]
+	if !ok {
+		s = &libSlot{}
+		libCache[p.String()] = s
 	}
+	libMu.Unlock()
+	s.once.Do(func() { s.lib, s.err = buildLib(p) })
+	return s.lib, s.err
+}
+
+func buildLib(p Pair) (*library.Library, error) {
 	m, err := p.build()
 	if err != nil {
 		return nil, err
@@ -70,13 +87,25 @@ func Lib(p Pair) (*library.Library, error) {
 	if err != nil {
 		return nil, err
 	}
-	lib, err := library.Generate(m, library.Config{Evaluator: ev})
+	lib, err := library.Generate(m, library.Config{Evaluator: ev, Workers: MaxWorkers()})
 	if err != nil {
 		return nil, err
 	}
 	if err := lib.Validate(); err != nil {
 		return nil, err
 	}
-	libCache[p.String()] = lib
 	return lib, nil
+}
+
+// WarmLibraries generates the libraries for the given pairs concurrently
+// (all of Pairs when nil), so experiments that touch several pairs pay the
+// design-time cost once, in parallel, up front.
+func WarmLibraries(pairs []Pair) error {
+	if pairs == nil {
+		pairs = Pairs
+	}
+	return parallel.ForEachErr(len(pairs), MaxWorkers(), func(i int) error {
+		_, err := Lib(pairs[i])
+		return err
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/edge"
+	"repro/internal/parallel"
 )
 
 // Fig1aPoint is one pruning-rate sample of Figure 1(a): accuracy and FPS
@@ -103,30 +104,39 @@ func Fig1b(runs int, seed int64) (*Fig1bResult, error) {
 		FrameLossPct: mean.FrameLossPct, Trace: trace.Trace,
 	})
 
-	for _, ms := range Fig1bReconfigTimesMS {
+	// The swept reconfiguration times are independent series over the
+	// read-only library; fan out into indexed slots, append in sweep order.
+	series := make([]Fig1bSeries, len(Fig1bReconfigTimesMS))
+	err = parallel.ForEachErr(len(Fig1bReconfigTimesMS), MaxWorkers(), func(i int) error {
+		ms := Fig1bReconfigTimesMS[i]
 		rt := time.Duration(ms * float64(time.Millisecond))
 		mk := func() (edge.Controller, error) {
 			return edge.NewPruningReconf(lib, 0.10, rt)
 		}
 		mean, _, err := edge.RunRepeated(scn, mk, runs, seed, edge.SimConfig{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ctl, err := mk()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr, err := edge.Run(scn, ctl, edge.SimConfig{Seed: seed, RecordTrace: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Series = append(res.Series, Fig1bSeries{
+		series[i] = Fig1bSeries{
 			Label:        fmt.Sprintf("Pruning Reconf. %gms", ms),
 			ReconfigMS:   ms,
 			FrameLossPct: mean.FrameLossPct,
 			Trace:        tr.Trace,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Series = append(res.Series, series...)
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/edge"
 	"repro/internal/manager"
+	"repro/internal/parallel"
 	"repro/internal/plot"
 )
 
@@ -43,32 +44,46 @@ func Fig6(seed int64) (*Fig6Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{Pair: p}
-	for _, scn := range []edge.Scenario{edge.Scenario1(), edge.Scenario2(), edge.Scenario12()} {
+	// The three scenarios are independent simulations over the read-only
+	// library; run them concurrently into indexed slots and assemble the
+	// series in scenario order, so output is identical to the serial loop.
+	scns := []edge.Scenario{edge.Scenario1(), edge.Scenario2(), edge.Scenario12()}
+	type cell struct{ ada, finn Fig6Series }
+	cells := make([]cell, len(scns))
+	err = parallel.ForEachErr(len(scns), MaxWorkers(), func(i int) error {
+		scn := scns[i]
 		mgr, err := manager.New(lib, manager.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ada, err := edge.Run(scn, edge.NewAdaFlow(mgr), edge.SimConfig{Seed: seed, RecordTrace: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Series = append(res.Series, Fig6Series{
+		cells[i].ada = Fig6Series{
 			Label: "AdaFlow", Scenario: scn.Name,
 			Stats: edgeStats{
 				FrameLossPct: ada.FrameLossPct, QoEPct: ada.QoEPct,
 				Switches: ada.RunStats.Switches, Reconfigs: ada.RunStats.Reconfigs,
 			},
 			Trace: ada.Trace, Switches: ada.Switches,
-		})
+		}
 		fn, err := edge.Run(scn, edge.NewStaticFINN(lib), edge.SimConfig{Seed: seed, RecordTrace: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Series = append(res.Series, Fig6Series{
+		cells[i].finn = Fig6Series{
 			Label: "Orig. FINN", Scenario: scn.Name,
 			Stats: edgeStats{FrameLossPct: fn.FrameLossPct, QoEPct: fn.QoEPct},
 			Trace: fn.Trace,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		res.Series = append(res.Series, c.ada, c.finn)
 	}
 	return res, nil
 }

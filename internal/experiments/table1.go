@@ -53,6 +53,11 @@ func Table1(runs int, seed int64) (*Table1Result, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiments: table1 needs a positive run count")
 	}
+	// Build the four libraries concurrently before the (internally
+	// parallel) simulation sweep; row order below stays deterministic.
+	if err := WarmLibraries(Pairs); err != nil {
+		return nil, err
+	}
 	res := &Table1Result{Runs: runs}
 	for _, p := range Pairs {
 		lib, err := Lib(p)

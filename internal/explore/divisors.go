@@ -1,0 +1,64 @@
+package explore
+
+import "sort"
+
+// The greedy unfold loop advances one folding axis per step, and every
+// step needs "the next legal divisor" of that axis's dimension. Scanning
+// 1..n per query is O(n) and runs thousands of times per search, so each
+// search precomputes the sorted divisor list per distinct dimension once
+// and binary-searches it.
+
+// divisorsOf returns all divisors of n in ascending order (O(√n) to
+// enumerate, O(d log d) to sort the handful found).
+func divisorsOf(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var divs []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+			if q := n / d; q != d {
+				divs = append(divs, q)
+			}
+		}
+	}
+	sort.Ints(divs)
+	return divs
+}
+
+// nextDivisorIn returns the smallest element of the ascending-sorted divs
+// strictly greater than cur, or 0 when cur is the largest.
+func nextDivisorIn(divs []int, cur int) int {
+	i := sort.SearchInts(divs, cur+1)
+	if i == len(divs) {
+		return 0
+	}
+	return divs[i]
+}
+
+// nextDivisor returns the smallest divisor of n strictly greater than cur,
+// or 0 when cur is already n. Standalone form of the table lookup below;
+// the search loop goes through divisorTable so each dimension is factored
+// once per search.
+func nextDivisor(n, cur int) int {
+	return nextDivisorIn(divisorsOf(n), cur)
+}
+
+// divisorTable memoizes sorted divisor lists per dimension for one search.
+// Layer dimensions repeat heavily (CNV reuses 64/128/256-channel shapes),
+// so the table stays tiny.
+type divisorTable struct {
+	byN map[int][]int
+}
+
+func newDivisorTable() *divisorTable { return &divisorTable{byN: map[int][]int{}} }
+
+func (t *divisorTable) next(n, cur int) int {
+	divs, ok := t.byN[n]
+	if !ok {
+		divs = divisorsOf(n)
+		t.byN[n] = divs
+	}
+	return nextDivisorIn(divs, cur)
+}

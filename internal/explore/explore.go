@@ -5,15 +5,26 @@
 // throughput target is met or a resource budget is exhausted. The search
 // is exact with respect to the cycle and resource models in internal/finn
 // and internal/synth.
+//
+// Evaluation is incremental: each greedy step changes the folding of one
+// layer, so instead of re-mapping and re-synthesizing the whole network the
+// searcher refolds the affected modules in place (finn.Dataflow.Refold) and
+// patches only their cycle and resource contributions. Results are also
+// memoized in a package-level cache (see cache.go) keyed by the full
+// evaluation input, so repeated searches over the same model — the library
+// sweep, frontier sweeps, warm benchmarks — skip shared prefixes entirely.
+// Both paths are bit-identical to a fresh Map+Synthesize.
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/finn"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/synth"
 )
 
@@ -75,40 +86,128 @@ func MinimalFolding(m *model.Model) finn.Folding {
 	return f
 }
 
-// evaluate maps and synthesizes one candidate.
-func evaluate(m *model.Model, f finn.Folding, opts Options, dev synth.Device) (*finn.Dataflow, *synth.Accelerator, error) {
-	df, err := finn.Map(m, f, finn.Options{Flexible: opts.Flexible, ClockHz: opts.ClockHz})
-	if err != nil {
-		return nil, nil, err
-	}
-	acc, err := synth.Synthesize(df, dev)
-	if err != nil {
-		return nil, nil, err
-	}
-	return df, acc, nil
+// evalOut is one evaluated design point, whether served from cache or
+// computed incrementally.
+type evalOut struct {
+	fps        float64
+	res        synth.Resources
+	bottleneck string
 }
 
-// bottleneckModule returns the slowest compute module of the dataflow.
-func bottleneckModule(df *finn.Dataflow) *finn.Module {
-	var worst *finn.Module
-	var cycles int64 = -1
-	for _, mod := range df.Modules {
-		if c := mod.CyclesPerFrame(); c > cycles {
-			cycles, worst = c, mod
-		}
-	}
-	return worst
+// searcher carries one greedy search's incremental evaluation state: the
+// live dataflow, the folding it currently reflects, and per-module cycle
+// and resource contributions so a one-layer folding change only touches
+// that layer's modules.
+type searcher struct {
+	m     *model.Model
+	opts  Options
+	dev   synth.Device
+	clock float64
+	sig   string
+	devk  string
+	divs  *divisorTable
+
+	df     *finn.Dataflow // nil until the first cache miss forces a Map
+	cycles []int64
+	perMod []synth.Resources
+	res    synth.Resources
 }
 
-// nextDivisor returns the smallest divisor of n strictly greater than cur,
-// or 0 when cur is already n.
-func nextDivisor(n, cur int) int {
-	for d := cur + 1; d <= n; d++ {
-		if n%d == 0 {
-			return d
+func newSearcher(m *model.Model, opts Options) *searcher {
+	dev, _ := opts.defaults()
+	clock := opts.ClockHz
+	if clock == 0 {
+		clock = finn.DefaultClockHz
+	}
+	return &searcher{
+		m: m, opts: opts, dev: dev, clock: clock,
+		sig:  modelSignature(m),
+		devk: deviceKey(dev),
+		divs: newDivisorTable(),
+	}
+}
+
+func (s *searcher) key(f finn.Folding) evalKey {
+	return evalKey{model: s.sig, fold: foldKey(f), dev: s.devk,
+		flexible: s.opts.Flexible, clock: s.clock}
+}
+
+// eval returns the dataflow/synthesis outcome of folding f. Cache hits skip
+// all model work; misses refold only the modules whose folding differs from
+// the searcher's live dataflow and patch their cycle/resource shares, which
+// the finn/synth purity invariants make bit-identical to a fresh
+// Map+Synthesize (see TestIncrementalMatchesFull).
+func (s *searcher) eval(f finn.Folding) (evalOut, error) {
+	k := s.key(f)
+	if v, ok := cacheGet(k); ok {
+		return evalOut{fps: v.FPS, res: v.Res, bottleneck: v.Bottleneck}, nil
+	}
+	if s.df == nil {
+		df, err := finn.Map(s.m, f, finn.Options{Flexible: s.opts.Flexible, ClockHz: s.opts.ClockHz})
+		if err != nil {
+			return evalOut{}, err
+		}
+		s.df = df
+		s.cycles = make([]int64, len(df.Modules))
+		s.perMod = make([]synth.Resources, len(df.Modules))
+		s.res = synth.Overhead()
+		for i, mod := range df.Modules {
+			s.cycles[i] = mod.CyclesPerFrame()
+			r := synth.ModuleResources(mod)
+			s.perMod[i] = r
+			s.res = s.res.Add(r)
+		}
+	} else {
+		changed, err := s.df.Refold(f)
+		if err != nil {
+			return evalOut{}, err
+		}
+		for _, i := range changed {
+			s.cycles[i] = s.df.Modules[i].CyclesPerFrame()
+			r := synth.ModuleResources(s.df.Modules[i])
+			s.res = s.res.Sub(s.perMod[i]).Add(r)
+			s.perMod[i] = r
 		}
 	}
-	return 0
+	if !s.dev.Fits(s.res) {
+		// Same failure Synthesize would report; the searcher's dataflow
+		// stays at the rejected folding, which is fine — both callers stop
+		// evaluating after an error.
+		return evalOut{}, fmt.Errorf("synth: %s does not fit %s: need %+v, have %+v",
+			s.df.Name, s.dev.Name, s.res, s.dev.Resources)
+	}
+	out := evalOut{fps: s.fps(), res: s.res, bottleneck: s.bottleneck()}
+	cachePut(k, evalResult{FPS: out.fps, Res: out.res, Bottleneck: out.bottleneck})
+	return out, nil
+}
+
+// fps mirrors finn.Dataflow.FPS over the tracked cycle contributions.
+func (s *searcher) fps() float64 {
+	var ii int64
+	for _, c := range s.cycles {
+		if c > ii {
+			ii = c
+		}
+	}
+	if ii <= 0 {
+		return 0
+	}
+	return s.clock / float64(ii)
+}
+
+// bottleneck mirrors the first-max scan the serial search used: the first
+// module with the strictly largest cycle count wins ties.
+func (s *searcher) bottleneck() string {
+	best, idx := int64(-1), -1
+	for i, c := range s.cycles {
+		if c > best {
+			best, idx = c, i
+		}
+	}
+	if idx < 0 {
+		return ""
+	}
+	return s.df.Modules[idx].Name
 }
 
 // layerIndex parses the module name produced by finn.Map ("mvtu3", "fc1",
@@ -131,19 +230,19 @@ func layerIndex(name string) (conv bool, idx int, ok bool) {
 
 // unfoldStep returns a copy of f with the bottleneck layer's cheaper axis
 // advanced one divisor step, or ok=false when the layer is fully unfolded.
-func unfoldStep(m *model.Model, f finn.Folding, bott *finn.Module) (finn.Folding, bool) {
-	conv, idx, ok := layerIndex(bott.Name)
+func (s *searcher) unfoldStep(f finn.Folding, bottleneck string) (finn.Folding, bool) {
+	conv, idx, ok := layerIndex(bottleneck)
 	if !ok {
 		return f, false
 	}
 	nf := f.Clone()
 	if conv {
-		c := m.Net.Convs()[idx]
+		c := s.m.Net.Convs()[idx]
 		k2 := c.Geom.KH * c.Geom.KW
 		// Two axes: SIMD over K²·InC and PE over OutC. Advance the one
 		// with the smaller relative jump; fall back to the other.
-		ns := nextDivisor(k2*c.Geom.InC, f.ConvSIMD[idx])
-		np := nextDivisor(c.OutC, f.ConvPE[idx])
+		ns := s.divs.next(k2*c.Geom.InC, f.ConvSIMD[idx])
+		np := s.divs.next(c.OutC, f.ConvPE[idx])
 		switch {
 		case ns == 0 && np == 0:
 			return f, false
@@ -155,9 +254,9 @@ func unfoldStep(m *model.Model, f finn.Folding, bott *finn.Module) (finn.Folding
 		}
 		return nf, true
 	}
-	d := m.Net.Denses()[idx]
-	ns := nextDivisor(d.In, f.DenseSIMD[idx])
-	np := nextDivisor(d.Out, f.DensePE[idx])
+	d := s.m.Net.Denses()[idx]
+	ns := s.divs.next(d.In, f.DenseSIMD[idx])
+	np := s.divs.next(d.Out, f.DensePE[idx])
 	switch {
 	case ns == 0 && np == 0:
 		return f, false
@@ -177,28 +276,28 @@ func TargetFPS(m *model.Model, target float64, opts Options) (*Result, error) {
 	if target <= 0 {
 		return nil, fmt.Errorf("explore: non-positive FPS target %v", target)
 	}
-	dev, maxIt := opts.defaults()
+	_, maxIt := opts.defaults()
+	s := newSearcher(m, opts)
 	f := MinimalFolding(m)
-	df, acc, err := evaluate(m, f, opts, dev)
+	ev, err := s.eval(f)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Folding: f, FPS: df.FPS(), Res: acc.Res, Bottleneck: bottleneckModule(df).Name}
+	res := &Result{Folding: f, FPS: ev.fps, Res: ev.res, Bottleneck: ev.bottleneck}
 	for it := 0; it < maxIt && res.FPS < target; it++ {
-		nf, ok := unfoldStep(m, res.Folding, bottleneckModule(df))
+		nf, ok := s.unfoldStep(res.Folding, res.Bottleneck)
 		if !ok {
 			return res, fmt.Errorf("explore: fully unfolded at %.1f FPS, target %.1f unreachable", res.FPS, target)
 		}
-		ndf, nacc, err := evaluate(m, nf, opts, dev)
+		nev, err := s.eval(nf)
 		if err != nil {
 			return res, fmt.Errorf("explore: stopped at %.1f FPS: %w", res.FPS, err)
 		}
-		df = ndf
 		res.Folding = nf
-		res.FPS = ndf.FPS()
-		res.Res = nacc.Res
+		res.FPS = nev.fps
+		res.Res = nev.res
 		res.Iterations = it + 1
-		res.Bottleneck = bottleneckModule(ndf).Name
+		res.Bottleneck = nev.bottleneck
 	}
 	if res.FPS < target {
 		return res, fmt.Errorf("explore: iteration budget exhausted at %.1f FPS, target %.1f", res.FPS, target)
@@ -212,31 +311,54 @@ func MaxFPSWithin(m *model.Model, lutBudget int, opts Options) (*Result, error) 
 	if lutBudget <= 0 {
 		return nil, fmt.Errorf("explore: non-positive LUT budget %d", lutBudget)
 	}
-	dev, maxIt := opts.defaults()
+	_, maxIt := opts.defaults()
+	s := newSearcher(m, opts)
 	f := MinimalFolding(m)
-	df, acc, err := evaluate(m, f, opts, dev)
+	ev, err := s.eval(f)
 	if err != nil {
 		return nil, err
 	}
-	if acc.Res.LUT > lutBudget {
-		return nil, fmt.Errorf("explore: minimal folding already needs %d LUTs, budget %d", acc.Res.LUT, lutBudget)
+	if ev.res.LUT > lutBudget {
+		return nil, fmt.Errorf("explore: minimal folding already needs %d LUTs, budget %d", ev.res.LUT, lutBudget)
 	}
-	res := &Result{Folding: f, FPS: df.FPS(), Res: acc.Res, Bottleneck: bottleneckModule(df).Name}
+	res := &Result{Folding: f, FPS: ev.fps, Res: ev.res, Bottleneck: ev.bottleneck}
 	for it := 0; it < maxIt; it++ {
-		nf, ok := unfoldStep(m, res.Folding, bottleneckModule(df))
+		nf, ok := s.unfoldStep(res.Folding, res.Bottleneck)
 		if !ok {
 			break
 		}
-		ndf, nacc, err := evaluate(m, nf, opts, dev)
-		if err != nil || nacc.Res.LUT > lutBudget {
+		nev, err := s.eval(nf)
+		if err != nil || nev.res.LUT > lutBudget {
 			break
 		}
-		df = ndf
 		res.Folding = nf
-		res.FPS = ndf.FPS()
-		res.Res = nacc.Res
+		res.FPS = nev.fps
+		res.Res = nev.res
 		res.Iterations = it + 1
-		res.Bottleneck = bottleneckModule(ndf).Name
+		res.Bottleneck = nev.bottleneck
 	}
 	return res, nil
+}
+
+// FrontierPoint is one target of a Frontier sweep.
+type FrontierPoint struct {
+	TargetFPS float64
+	Result    *Result
+	Err       error
+}
+
+// Frontier runs TargetFPS for several throughput targets concurrently over
+// at most jobs workers (jobs <= 0 means NumCPU). Each search owns its
+// state; the shared evaluation cache only short-circuits recomputation, so
+// results are index-aligned with targets and independent of jobs.
+func Frontier(m *model.Model, targets []float64, opts Options, jobs int) []FrontierPoint {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	pts := make([]FrontierPoint, len(targets))
+	parallel.ForEach(len(targets), jobs, func(i int) {
+		r, err := TargetFPS(m, targets[i], opts)
+		pts[i] = FrontierPoint{TargetFPS: targets[i], Result: r, Err: err}
+	})
+	return pts
 }

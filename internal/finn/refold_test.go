@@ -1,0 +1,99 @@
+package finn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Refold must be equivalent to a fresh Map at the new folding: same module
+// fields, same cycles, same FPS — the invariant the folding explorer's
+// incremental re-evaluation rests on.
+func TestRefoldMatchesFreshMap(t *testing.T) {
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := DefaultFolding(m)
+	df, err := Map(m, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nf := f.Clone()
+	nf.ConvPE[2] = largestDivisorAtMost(m.Net.Convs()[2].OutC, 16)
+	nf.DenseSIMD[0] = 1
+	changed, err := df.Refold(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) == 0 {
+		t.Fatal("no modules reported changed")
+	}
+
+	fresh, err := Map(m, nf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Modules) != len(df.Modules) {
+		t.Fatalf("module count diverged: %d vs %d", len(df.Modules), len(fresh.Modules))
+	}
+	for i := range df.Modules {
+		if !reflect.DeepEqual(*df.Modules[i], *fresh.Modules[i]) {
+			t.Fatalf("module %d (%s) diverged after refold:\n refold: %+v\n fresh:  %+v",
+				i, df.Modules[i].Name, *df.Modules[i], *fresh.Modules[i])
+		}
+	}
+	if df.FPS() != fresh.FPS() {
+		t.Fatalf("FPS diverged: %v vs %v", df.FPS(), fresh.FPS())
+	}
+}
+
+func TestRefoldNoChangeReportsNothing(t *testing.T) {
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := DefaultFolding(m)
+	df, err := Map(m, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := df.Refold(f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("identical folding reported %d changed modules", len(changed))
+	}
+}
+
+func TestRefoldRollsBackOnIllegalFolding(t *testing.T) {
+	m, err := model.CNVW2A2("cifar10", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := DefaultFolding(m)
+	df, err := Map(m, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]Module, len(df.Modules))
+	for i, mod := range df.Modules {
+		before[i] = *mod
+	}
+	bad := f.Clone()
+	bad.ConvPE[0] = m.Net.Convs()[0].OutC + 1 // cannot divide OutC
+	if _, err := df.Refold(bad); err == nil {
+		t.Fatal("illegal folding accepted")
+	}
+	for i, mod := range df.Modules {
+		if !reflect.DeepEqual(*mod, before[i]) {
+			t.Fatalf("module %d not rolled back", i)
+		}
+	}
+	if _, err := df.Refold(Folding{}); err == nil {
+		t.Fatal("folding with wrong arity accepted")
+	}
+}

@@ -4,16 +4,31 @@
 // and synthesizes the accelerators the Runtime Manager chooses among —
 // one Fixed-Pruning accelerator per pruned model and a single
 // Flexible-Pruning accelerator per initial model.
+//
+// Generation is a three-stage pipeline. Stage 1 prunes and evaluates each
+// rate independently (the weight-heavy work), fanned across Config.Workers
+// goroutines with indexed result slots. Stage 2 maps and synthesizes one
+// fixed accelerator per *distinct* channel configuration — dataflow
+// constraints round several small rates to the same shape, so duplicate
+// rates reuse the memoized synthesis — and measures the flexible
+// accelerator at those channels under a mutex. Stage 3 assembles the
+// entries in rate order. Every per-entry value is a pure function of the
+// entry's inputs and the memo is consulted identically at any worker
+// count, so the output is bit-identical regardless of parallelism.
 package library
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/finn"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/prune"
 	"repro/internal/synth"
 )
@@ -34,11 +49,32 @@ type Entry struct {
 	// the Flexible accelerator configured to this version.
 	FixedFPS float64
 	FlexFPS  float64
+	// FlexEnergyPerInfJ is the flexible accelerator's dynamic energy per
+	// inference when configured to this version's channels, in joules.
+	// Precomputed here so runtime power queries need not reconfigure the
+	// shared flexible dataflow (which would be a data race across
+	// concurrent simulations).
+	FlexEnergyPerInfJ float64
 	// Fixed is the synthesized Fixed-Pruning accelerator for this version.
+	// Entries whose constraints rounded to the same channel configuration
+	// share one accelerator.
 	Fixed *synth.Accelerator
 	// Model optionally retains the pruned weights (nil when the generator
 	// was asked not to keep them).
 	Model *model.Model
+}
+
+// GenStats records how a Generate call ran (diagnostics; not serialized).
+type GenStats struct {
+	// Workers is the resolved worker count.
+	Workers int
+	// Wall is the end-to-end generation time.
+	Wall time.Duration
+	// DistinctSynth counts distinct channel configurations that were
+	// actually mapped and synthesized; SynthReused counts rate entries
+	// served from the memo instead.
+	DistinctSynth int
+	SynthReused   int
 }
 
 // Library is the generated table plus the shared Flexible accelerator.
@@ -58,6 +94,8 @@ type Library struct {
 	// FlexSwitchTime is the fast model-switch cost on the Flexible
 	// accelerator (runtime channel-port writes plus weight reload).
 	FlexSwitchTime time.Duration
+	// Stats describes the generation run that produced this library.
+	Stats GenStats
 }
 
 // Config parameterizes library generation.
@@ -76,6 +114,10 @@ type Config struct {
 	KeepModels bool
 	// FlexSwitchTime defaults to 1 ms.
 	FlexSwitchTime time.Duration
+	// Workers bounds the concurrency of the rate sweep: 0 or 1 runs
+	// serially, n spreads the per-rate work over n goroutines. The library
+	// produced is bit-identical for every value.
+	Workers int
 }
 
 // PaperRates returns the paper's sweep: 0 to 0.85 in 0.05 steps.
@@ -87,8 +129,20 @@ func PaperRates() []float64 {
 	return rs
 }
 
+// channelsKey is the memo key for a pruned shape.
+func channelsKey(ch []int) string {
+	var b strings.Builder
+	b.Grow(4 * len(ch))
+	for _, c := range ch {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
 // Generate builds the library from an initial model.
 func Generate(initial *model.Model, cfg Config) (*Library, error) {
+	start := time.Now()
 	if cfg.Evaluator == nil {
 		return nil, fmt.Errorf("library: Config.Evaluator is required")
 	}
@@ -110,6 +164,10 @@ func Generate(initial *model.Model, cfg Config) (*Library, error) {
 	flexSwitch := cfg.FlexSwitchTime
 	if flexSwitch == 0 {
 		flexSwitch = time.Millisecond
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
 	}
 
 	fold := finn.DefaultFolding(initial)
@@ -136,48 +194,109 @@ func Generate(initial *model.Model, cfg Config) (*Library, error) {
 		return nil, err
 	}
 
-	for _, rate := range rates {
-		pruned, plan, err := prune.Shrink(initial, rate, gran)
+	// Stage 1: prune and evaluate every rate. Shrink clones before
+	// mutating and the evaluator only reads its own clone, so rates are
+	// independent; results land in indexed slots.
+	type pruned struct {
+		model *model.Model
+		plan  *prune.Plan
+		acc   float64
+	}
+	stage1 := make([]pruned, len(rates))
+	err = parallel.ForEachErr(len(rates), workers, func(i int) error {
+		m, plan, err := prune.Shrink(initial, rates[i], gran)
 		if err != nil {
-			return nil, fmt.Errorf("library: rate %v: %w", rate, err)
+			return fmt.Errorf("library: rate %v: %w", rates[i], err)
 		}
-		acc, err := cfg.Evaluator.Accuracy(pruned)
+		acc, err := cfg.Evaluator.Accuracy(m)
 		if err != nil {
-			return nil, fmt.Errorf("library: rate %v: %w", rate, err)
+			return fmt.Errorf("library: rate %v: %w", rates[i], err)
 		}
-		prFold := finn.DefaultFolding(pruned)
-		fixedDF, err := finn.Map(pruned, prFold, finn.Options{ClockHz: cfg.ClockHz})
+		stage1[i] = pruned{model: m, plan: plan, acc: acc}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: map and synthesize one fixed accelerator per distinct
+	// channel configuration (first occurrence in rate order owns it), and
+	// measure the flexible accelerator configured to those channels. The
+	// flexible dataflow is shared, so each configure-measure-restore is
+	// atomic under a mutex; every measurement is a pure function of the
+	// channels, so lock order cannot change results.
+	type synthed struct {
+		fixed    *synth.Accelerator
+		fixedFPS float64
+		flexFPS  float64
+		flexE    float64
+	}
+	owner := map[string]int{} // channelsKey → first rate index
+	var distinct []int        // first-occurrence rate indices, rate order
+	for i := range rates {
+		k := channelsKey(stage1[i].plan.Channels)
+		if _, ok := owner[k]; !ok {
+			owner[k] = i
+			distinct = append(distinct, i)
+		}
+	}
+	memo := make([]synthed, len(rates)) // indexed by owner rate
+	var flexMu sync.Mutex
+	err = parallel.ForEachErr(len(distinct), workers, func(j int) error {
+		i := distinct[j]
+		m, plan := stage1[i].model, stage1[i].plan
+		fixedDF, err := finn.Map(m, finn.DefaultFolding(m), finn.Options{ClockHz: cfg.ClockHz})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fixedAcc, err := synth.Synthesize(fixedDF, dev)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Flexible throughput for this version: configure and restore.
+		flexMu.Lock()
+		defer flexMu.Unlock()
 		if err := flexDF.SetChannels(plan.Channels); err != nil {
-			return nil, fmt.Errorf("library: rate %v violates flexible constraints: %w", rate, err)
+			return fmt.Errorf("library: rate %v violates flexible constraints: %w", rates[i], err)
 		}
 		flexFPS := flexDF.FPS()
+		flexE := lib.Flexible.EnergyPerInference()
 		if err := flexDF.SetChannels(flexDF.WorstChannels); err != nil {
-			return nil, err
+			return err
 		}
+		memo[i] = synthed{fixed: fixedAcc, fixedFPS: fixedDF.FPS(), flexFPS: flexFPS, flexE: flexE}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	// Stage 3: assemble rows in rate order from the per-rate results and
+	// the per-shape memo.
+	for i, rate := range rates {
+		s1 := stage1[i]
+		sy := memo[owner[channelsKey(s1.plan.Channels)]]
 		e := Entry{
-			NominalRate:   rate,
-			EffectiveRate: plan.EffectiveRate,
-			Channels:      append([]int(nil), plan.Channels...),
-			Accuracy:      acc,
-			FixedFPS:      fixedDF.FPS(),
-			FlexFPS:       flexFPS,
-			Fixed:         fixedAcc,
+			NominalRate:       rate,
+			EffectiveRate:     s1.plan.EffectiveRate,
+			Channels:          append([]int(nil), s1.plan.Channels...),
+			Accuracy:          s1.acc,
+			FixedFPS:          sy.fixedFPS,
+			FlexFPS:           sy.flexFPS,
+			FlexEnergyPerInfJ: sy.flexE,
+			Fixed:             sy.fixed,
 		}
 		if cfg.KeepModels {
-			e.Model = pruned
+			e.Model = s1.model
 		}
 		lib.Entries = append(lib.Entries, e)
 	}
 	lib.Baseline = lib.Entries[0].Fixed
+	lib.Stats = GenStats{
+		Workers:       workers,
+		Wall:          time.Since(start),
+		DistinctSynth: len(distinct),
+		SynthReused:   len(rates) - len(distinct),
+	}
 	return lib, nil
 }
 

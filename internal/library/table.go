@@ -35,7 +35,11 @@ type TableRow struct {
 	FixedLUT      int     `json:"fixed_lut"`
 	FixedBRAM     int     `json:"fixed_bram"`
 	EnergyPerInfJ float64 `json:"energy_per_inf_j"`
-	FixedIdleW    float64 `json:"fixed_idle_w"`
+	// FlexEnergyPerInfJ is the flexible accelerator's dynamic energy per
+	// inference configured to this row's channels (0 in tables written
+	// before the column existed).
+	FlexEnergyPerInfJ float64 `json:"flex_energy_per_inf_j"`
+	FixedIdleW        float64 `json:"fixed_idle_w"`
 }
 
 const tableVersion = 1
@@ -55,16 +59,17 @@ func (l *Library) Table() *Table {
 	}
 	for _, e := range l.Entries {
 		t.Rows = append(t.Rows, TableRow{
-			NominalRate:   e.NominalRate,
-			EffectiveRate: e.EffectiveRate,
-			Channels:      append([]int(nil), e.Channels...),
-			Accuracy:      e.Accuracy,
-			FixedFPS:      e.FixedFPS,
-			FlexFPS:       e.FlexFPS,
-			FixedLUT:      e.Fixed.Res.LUT,
-			FixedBRAM:     e.Fixed.Res.BRAM,
-			EnergyPerInfJ: e.Fixed.TotalEnergyPerInference(),
-			FixedIdleW:    e.Fixed.IdlePower(),
+			NominalRate:       e.NominalRate,
+			EffectiveRate:     e.EffectiveRate,
+			Channels:          append([]int(nil), e.Channels...),
+			Accuracy:          e.Accuracy,
+			FixedFPS:          e.FixedFPS,
+			FlexFPS:           e.FlexFPS,
+			FixedLUT:          e.Fixed.Res.LUT,
+			FixedBRAM:         e.Fixed.Res.BRAM,
+			EnergyPerInfJ:     e.Fixed.TotalEnergyPerInference(),
+			FlexEnergyPerInfJ: e.FlexEnergyPerInfJ,
+			FixedIdleW:        e.Fixed.IdlePower(),
 		})
 	}
 	return t

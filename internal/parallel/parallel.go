@@ -1,0 +1,71 @@
+// Package parallel provides the bounded, deterministic fan-out primitive
+// the design-time pipeline is built on: a fixed number of worker
+// goroutines claim indices in order and write results into caller-owned
+// index slots, so output is bit-identical to the serial path regardless of
+// worker count or scheduling. It is the index-space sibling of the
+// range-chunking pool in internal/tensor (see tensor.SetMaxWorkers).
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachErr runs fn(i) for every i in [0, n) using at most workers
+// goroutines and returns the error of the lowest failing index (nil when
+// every call succeeds).
+//
+// Determinism contract: indices are claimed in ascending order and each
+// call writes only to state owned by its index, so for pure fn the overall
+// result is independent of the worker count. With workers <= 1 the calls
+// run inline on the caller's goroutine and stop at the first error; with
+// more workers every index may still be visited after a failure (results
+// of successful calls are discarded by the caller on error), but the
+// returned error is the same lowest-index one the serial path reports.
+//
+// fn must be safe for concurrent invocation on distinct indices when
+// workers > 1.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach is ForEachErr for infallible bodies.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachErr(n, workers, func(i int) error { fn(i); return nil })
+}

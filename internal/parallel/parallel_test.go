@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachErrVisitsAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, runtime.NumCPU(), 100} {
+		n := 37
+		got := make([]int32, n)
+		err := ForEachErr(n, workers, func(i int) error {
+			atomic.AddInt32(&got[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachErrEmpty(t *testing.T) {
+	called := false
+	if err := ForEachErr(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+// The returned error must be the lowest failing index's, independent of
+// worker count — the property the library sweep's deterministic error
+// reporting relies on.
+func TestForEachErrLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEachErr(64, workers, func(i int) error {
+			if i == 7 || i == 50 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Fatalf("workers=%d: err = %v, want fail at 7", workers, err)
+		}
+	}
+}
+
+func TestForEachErrSerialStopsEarly(t *testing.T) {
+	var calls int
+	err := ForEachErr(10, 1, func(i int) error {
+		calls++
+		if i == 3 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("serial path ran %d calls, err %v", calls, err)
+	}
+}
+
+func TestForEachDeterministicResultSlots(t *testing.T) {
+	n := 1000
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = i * i
+	}
+	got := make([]int, n)
+	ForEach(n, 8, func(i int) { got[i] = i * i })
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], ref[i])
+		}
+	}
+}

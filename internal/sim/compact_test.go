@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+// Canceling more than half the queue must shrink the heap in place (lazy
+// deletion alone would carry the dead entries until popped) while firing
+// the surviving events in exactly the order they would have run.
+func TestCancelCompactsHeap(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	handles := make([]Handle, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		h, err := e.ScheduleCancelable(float64(i), func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	// Cancel 600 of 1000: crosses the majority threshold mid-way, so at
+	// least one compaction must run.
+	for i := 0; i < 600; i++ {
+		if !e.Cancel(handles[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	const wantLive = n - 600
+	if got := e.Pending(); got != wantLive {
+		t.Fatalf("Pending = %d, want %d", got, wantLive)
+	}
+	if len(e.queue) == n {
+		t.Fatalf("heap never compacted: len still %d", len(e.queue))
+	}
+	if e.canceled > len(e.queue)/2 {
+		t.Fatalf("compaction invariant violated: %d canceled of %d queued",
+			e.canceled, len(e.queue))
+	}
+	e.Run(float64(n))
+	if len(fired) != wantLive {
+		t.Fatalf("fired %d events, want %d", len(fired), wantLive)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("events out of order: %d after %d", fired[i], fired[i-1])
+		}
+	}
+}
+
+// A handle whose event was recycled by compaction must stay inert: Cancel
+// reports false and no live event is harmed.
+func TestStaleHandleInertAfterCompaction(t *testing.T) {
+	e := NewEngine()
+	var handles []Handle
+	for i := 0; i < 8; i++ {
+		h, err := e.ScheduleCancelable(float64(i), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Cancel 5 of 8 — triggers compaction, recycling the 5 events.
+	for i := 0; i < 5; i++ {
+		if !e.Cancel(handles[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	if e.canceled != 0 {
+		t.Fatal("expected compaction to have run")
+	}
+	// Re-cancel through stale handles: storage may now back new events.
+	fired := 0
+	for i := 0; i < 3; i++ {
+		if _, err := e.ScheduleCancelable(10+float64(i), func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if e.Cancel(handles[i]) {
+			t.Fatalf("stale handle %d canceled something", i)
+		}
+	}
+	e.Run(20)
+	if fired != 3 {
+		t.Fatalf("stale cancel killed live events: fired %d of 3", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after run", got)
+	}
+}

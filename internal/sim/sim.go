@@ -94,7 +94,34 @@ func (e *Engine) Cancel(h Handle) bool {
 	}
 	h.ev.fn = nil
 	e.canceled++
+	// Lazy deletion keeps Cancel O(1), but heavy cancel traffic (retry
+	// timers superseded on every workload change) would otherwise grow the
+	// heap with dead entries and tax every sift. Once the majority of the
+	// heap is dead, compact it in one O(n) pass.
+	if e.canceled > len(e.queue)/2 {
+		e.compact()
+	}
 	return true
+}
+
+// compact removes canceled events from the heap, recycles their storage,
+// and re-establishes the heap invariant. Relative order of live events is
+// unaffected: ordering is by (time, seq), which compaction doesn't touch.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.fn == nil {
+			e.free = append(e.free, ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.canceled = 0
+	heap.Init(&e.queue)
 }
 
 // Run executes events in time order until the queue empties or the clock

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tracked benchmark baseline: runs the key design-time and substrate
+# benchmarks and writes their numbers to BENCH_PR3.json via cmd/benchjson.
+# Run from the repository root (or via `make bench`).
+#
+# Environment overrides:
+#   BENCH_OUT      output JSON path        (default BENCH_PR3.json)
+#   BENCH_PATTERN  -bench regexp           (default: the tracked set below)
+#   BENCH_TIME     -benchtime              (default 1s)
+#   BENCH_COUNT    -count                  (default 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT=${BENCH_OUT:-BENCH_PR3.json}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkLibraryGenerate|BenchmarkExploreTargetFPS|BenchmarkGemm$|BenchmarkConvForward|BenchmarkDESKernel'}
+BENCH_TIME=${BENCH_TIME:-1s}
+BENCH_COUNT=${BENCH_COUNT:-1}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench '$BENCH_PATTERN' (benchtime $BENCH_TIME, count $BENCH_COUNT)"
+go test -run '^$' -bench "$BENCH_PATTERN" -benchmem \
+	-benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$tmp"
+
+echo "== writing $BENCH_OUT"
+go run ./cmd/benchjson -o "$BENCH_OUT" "$tmp"
+echo "bench: baseline written to $BENCH_OUT"

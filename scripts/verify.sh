@@ -29,4 +29,10 @@ make test-race
 echo "== chaos suite (seeded fault injection)"
 make test-chaos
 
+echo "== bench smoke (one fast kernel benchmark through scripts/bench.sh)"
+bench_out=$(mktemp)
+BENCH_OUT="$bench_out" BENCH_TIME=1x BENCH_PATTERN='BenchmarkDESKernel' ./scripts/bench.sh
+grep -q 'BenchmarkDESKernel' "$bench_out"
+rm -f "$bench_out"
+
 echo "verify: OK"

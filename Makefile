@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race test-chaos bench bench-all verify
+.PHONY: all build test race test-race test-chaos trace-golden bench bench-all verify
 
 all: build
 
@@ -22,7 +22,14 @@ test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
 		./internal/edge/... ./internal/manager/... ./internal/multiedge/... \
 		./internal/library/... ./internal/explore/... ./internal/parallel/... \
-		./internal/sim/... ./internal/experiments/...
+		./internal/sim/... ./internal/experiments/... ./internal/obs/...
+
+# Golden trace suite: the Fig. 6 scenario traces plus the pinned
+# decision-event streams (manager verdicts) for Scenarios 1, 2 and 1+2.
+# Regenerate after an intentional semantic change with:
+#   go test ./internal/edge/ -run Golden -update
+trace-golden:
+	$(GO) test -count=1 -run 'Golden' ./internal/edge/...
 
 # Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
 # across the fault layer, edge simulation, manager and pool.

@@ -48,8 +48,20 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/modelio"
+	"repro/internal/parallel"
 	"repro/internal/train"
 )
+
+// SetParallelism drives every parallelism cap in the repo at once: the
+// tensor kernel pool, RunEdgeRepeated's concurrent simulations, the
+// experiment harness fan-out, and GenerateLibrary's default rate-sweep
+// width. n <= 0 resets each cap to its own default (NumCPU for the compute
+// pools, serial for library generation). Individual caps remain adjustable
+// afterwards through their package setters (tensor.SetMaxWorkers, …); an
+// explicit LibraryConfig.Workers always wins over the default this sets.
+// Results are bit-identical for every value — parallel fan-outs write
+// indexed slots in deterministic order.
+func SetParallelism(n int) { parallel.SetAll(n) }
 
 // Core model types.
 type (
@@ -164,15 +176,26 @@ func NewAdaFlowController(mgr *RuntimeManager) Controller { return edge.NewAdaFl
 // NewStaticFINNController serves the unpruned FINN baseline.
 func NewStaticFINNController(lib *Library) Controller { return edge.NewStaticFINN(lib) }
 
-// RunEdge simulates one scenario run.
-func RunEdge(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
-	return edge.Run(scn, ctl, cfg)
+// RunEdge simulates one scenario run. Trailing RunOptions (WithTracer,
+// WithRNG) customize cross-cutting behaviour; zero options reproduce the
+// historical signature and results exactly.
+func RunEdge(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Result, error) {
+	return edge.Run(scn, ctl, cfg, opts...)
 }
 
-// RunEdgeRepeated averages repeated runs (the paper averages 100).
-func RunEdgeRepeated(scn Scenario, mk func() (Controller, error), runs int, seed int64, cfg SimConfig) (RunStats, error) {
-	mean, _, err := edge.RunRepeated(scn, mk, runs, seed, cfg)
+// RunEdgeRepeated averages repeated runs (the paper averages 100). It is
+// RunEdgeRepeatedAll keeping only the mean — use that variant when the
+// per-run distribution (variance, percentiles) matters.
+func RunEdgeRepeated(scn Scenario, mk func() (Controller, error), runs int, seed int64, cfg SimConfig, opts ...RunOption) (RunStats, error) {
+	mean, _, err := RunEdgeRepeatedAll(scn, mk, runs, seed, cfg, opts...)
 	return mean, err
+}
+
+// RunEdgeRepeatedAll runs the scenario `runs` times with consecutive seeds
+// and returns both the mean and every per-run RunStats (index i ran with
+// seed seed+i). With WithTracer, each run's events carry a run=i attribute.
+func RunEdgeRepeatedAll(scn Scenario, mk func() (Controller, error), runs int, seed int64, cfg SimConfig, opts ...RunOption) (RunStats, []RunStats, error) {
+	return edge.RunRepeated(scn, mk, runs, seed, cfg, opts...)
 }
 
 // SaveModel serializes a model (with its pruning/channel metadata — the

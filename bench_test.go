@@ -575,6 +575,29 @@ func BenchmarkEdgeScenarioRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRunEdge measures the facade RunEdge hot path — AdaFlow
+// controller, Runtime Manager decisions, full 25 s scenario — with tracing
+// off. It is the disabled-tracer overhead guard: scripts/verify.sh
+// compares it against the BENCH_PR3.json baseline, so instrumentation
+// added to the serving loop must stay free when no tracer is attached.
+func BenchmarkRunEdge(b *testing.B) {
+	p := experiments.Pairs[0]
+	lib, err := experiments.Lib(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr, err := NewRuntimeManager(lib, DefaultManagerConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunEdge(Scenario2(), NewAdaFlowController(mgr), SimConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDESKernel measures raw event throughput of the simulation
 // kernel.
 func BenchmarkDESKernel(b *testing.B) {

@@ -1,19 +1,28 @@
 // Command adaflow-sim runs the Edge-server simulation for one scenario and
-// controller, printing the run summary and (optionally) the per-step
-// trace as CSV.
+// controller, printing the run summary and (optionally) a per-step CSV
+// trace, a JSONL event/decision trace, or a Prometheus-style metrics
+// snapshot.
 //
 // Usage:
 //
 //	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf]
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
-//	            [-reconfig-ms 145] [-trace]
+//	            [-reconfig-ms 145] [-csv]
+//	            [-trace out.jsonl] [-trace-sample 25] [-metrics-snapshot]
 //	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
+//
+// -trace streams every decision event (manager verdicts, switches, faults)
+// plus sampled hot-path events to a JSON Lines file; -metrics-snapshot
+// aggregates the same events and prints Prometheus text exposition format
+// to stdout after the run. Tracing is passive: results are bit-identical
+// with or without it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/accuracy"
@@ -23,6 +32,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +47,10 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "accuracy threshold")
 	criteria := flag.Float64("criteria", 10, "fixed/flexible criteria multiple")
 	reconfMS := flag.Float64("reconfig-ms", 145, "reconfiguration time for -controller reconf")
-	trace := flag.Bool("trace", false, "print per-step trace CSV (single run)")
+	csv := flag.Bool("csv", false, "print per-step trace CSV (single run)")
+	traceFile := flag.String("trace", "", "write a JSONL event/decision trace to this file")
+	traceSample := flag.Int("trace-sample", 25, "keep every nth hot-path trace event (decision events are never sampled)")
+	metricsSnapshot := flag.Bool("metrics-snapshot", false, "print a Prometheus-style metrics snapshot to stdout after the run")
 	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;sensor-dropout:p=0.1" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift)`)
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same plan+seed replays bit-identically)")
 	flag.Parse()
@@ -109,14 +122,48 @@ func main() {
 		}
 	}
 
-	if *trace || *runs == 1 {
+	// Assemble the observability pipeline: JSONL file and/or in-memory
+	// snapshot, behind one tracer. No flags → nil tracer → zero overhead.
+	var sinks []obs.Tracer
+	var jsonl *obs.JSONL
+	if *traceFile != "" {
+		var err error
+		if jsonl, err = obs.NewJSONLFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+		sinks = append(sinks, jsonl)
+	}
+	var snap *obs.Snapshot
+	if *metricsSnapshot {
+		snap = obs.NewSnapshot()
+		sinks = append(sinks, snap)
+	}
+	var opts []edge.RunOption
+	if len(sinks) > 0 {
+		opts = append(opts, edge.WithTracer(obs.New(obs.Multi(sinks...), obs.Sample(*traceSample))))
+	}
+	finishTrace := func() {
+		if jsonl != nil {
+			if err := jsonl.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("trace written to %s", *traceFile)
+		}
+		if snap != nil {
+			if _, err := snap.WriteTo(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if *csv || *runs == 1 {
 		ctl, err := mk()
 		if err != nil {
 			log.Fatal(err)
 		}
 		res, err := edge.Run(scn, ctl, edge.SimConfig{
-			Seed: *seed, RecordTrace: *trace, FaultPlan: plan, FaultSeed: *faultSeed,
-		})
+			Seed: *seed, RecordTrace: *csv, FaultPlan: plan, FaultSeed: *faultSeed,
+		}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,19 +177,20 @@ func main() {
 			}
 			fmt.Printf("switch t=%6.2fs %-18s (%s)\n", ev.Time, ev.Label, kind)
 		}
-		if *trace {
+		if *csv {
 			fmt.Println("time,incoming_fps,processed_fps,loss_pct,inst_loss_pct,qoe_pct,accuracy,power_w")
 			for _, p := range res.Trace {
 				fmt.Printf("%.2f,%.1f,%.1f,%.2f,%.2f,%.2f,%.4f,%.3f\n",
 					p.Time, p.IncomingFPS, p.ProcessedFPS, p.LossPct, p.InstLossPct, p.QoEPct, p.Accuracy, p.PowerW)
 			}
 		}
+		finishTrace()
 		return
 	}
 
 	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{
 		FaultPlan: plan, FaultSeed: *faultSeed,
-	})
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +198,7 @@ func main() {
 	printStats(scn.Name, *controller, mean.FrameLossPct, mean.QoEPct,
 		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
 	printFaults(plan, mean.Faults, nil)
+	finishTrace()
 }
 
 // printFaults summarizes the chaos run: per-kind counters, then the

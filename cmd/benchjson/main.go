@@ -6,10 +6,17 @@
 //
 //	go test -bench=. -benchmem ./... | benchjson [-o out.json]
 //	benchjson [-o out.json] bench-output.txt
+//	benchjson -check -baseline BENCH_PR3.json [-tol 0.25] bench-output.txt
 //
 // Standard columns (ns/op, B/op, allocs/op) and custom b.ReportMetric
 // units are all captured; the trailing -N GOMAXPROCS suffix is stripped
 // from names so baselines compare across machines.
+//
+// With -check, instead of writing JSON the input is compared against a
+// baseline file: each benchmark present in both must not regress its
+// ns/op by more than the -tol fraction, or the command exits nonzero.
+// scripts/verify.sh uses this to guard the disabled-tracer overhead of
+// the serving hot path (BenchmarkRunEdge).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +45,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	check := flag.Bool("check", false, "compare input against -baseline instead of emitting JSON")
+	baseline := flag.String("baseline", "", "baseline JSON file (required with -check)")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression with -check")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -57,6 +68,27 @@ func main() {
 	}
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found in input")
+	}
+
+	if *check {
+		if *baseline == "" {
+			log.Fatal("-check requires -baseline")
+		}
+		f, err := os.Open(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var base map[string]Result
+		if err := json.NewDecoder(f).Decode(&base); err != nil {
+			log.Fatalf("bad baseline %s: %v", *baseline, err)
+		}
+		report, failed := Check(results, base, *tol)
+		fmt.Print(report)
+		if failed {
+			log.Fatalf("benchmark regression beyond %.0f%% tolerance", *tol*100)
+		}
+		return
 	}
 
 	w := os.Stdout
@@ -109,6 +141,41 @@ func Parse(r io.Reader) (map[string]Result, error) {
 		results[name] = Result{Iterations: iters, Metrics: metrics}
 	}
 	return results, sc.Err()
+}
+
+// Check compares measured results against a baseline. Benchmarks in only
+// one of the two sets are skipped (the baseline may be broader or narrower
+// than the run). A benchmark fails when its ns/op exceeds the baseline by
+// more than tol (a fraction, e.g. 0.25 = +25%); speedups always pass. The
+// returned report has one line per compared benchmark, sorted by name.
+func Check(got, base map[string]Result, tol float64) (report string, failed bool) {
+	names := make([]string, 0, len(got))
+	for name := range got {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		cur, ref := got[name].Metrics["ns/op"], base[name].Metrics["ns/op"]
+		if ref <= 0 || cur <= 0 {
+			fmt.Fprintf(&b, "skip  %-40s (no ns/op to compare)\n", name)
+			continue
+		}
+		ratio := cur / ref
+		verdict := "ok  "
+		if ratio > 1+tol {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%s  %-40s %12.0f ns/op vs %12.0f baseline (%+.1f%%)\n",
+			verdict, name, cur, ref, (ratio-1)*100)
+	}
+	if len(names) == 0 {
+		b.WriteString("no overlapping benchmarks to compare\n")
+	}
+	return b.String(), failed
 }
 
 // parseMetrics splits the tail of a benchmark line into unit -> value.

@@ -61,3 +61,43 @@ func TestParseRejectsMalformedMetrics(t *testing.T) {
 		t.Fatal("odd field count accepted")
 	}
 }
+
+func TestCheck(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkB": {Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkC": {Metrics: map[string]float64{"ns/op": 100}},
+	}
+	got := map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"ns/op": 110}}, // +10%: within tol
+		"BenchmarkB": {Metrics: map[string]float64{"ns/op": 150}}, // +50%: regression
+		"BenchmarkD": {Metrics: map[string]float64{"ns/op": 999}}, // not in baseline: skipped
+	}
+	report, failed := Check(got, base, 0.25)
+	if !failed {
+		t.Fatal("+50% regression passed a 25% tolerance")
+	}
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "BenchmarkB") {
+		t.Fatalf("report does not flag BenchmarkB:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkD") {
+		t.Fatalf("non-overlapping benchmark compared:\n%s", report)
+	}
+
+	got["BenchmarkB"] = Result{Metrics: map[string]float64{"ns/op": 50}} // speedup
+	if _, failed := Check(got, base, 0.25); failed {
+		t.Fatal("a speedup was reported as a regression")
+	}
+}
+
+func TestCheckNoOverlap(t *testing.T) {
+	report, failed := Check(
+		map[string]Result{"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1}}},
+		map[string]Result{"BenchmarkY": {Metrics: map[string]float64{"ns/op": 1}}}, 0.1)
+	if failed {
+		t.Fatal("no-overlap compare failed")
+	}
+	if !strings.Contains(report, "no overlapping") {
+		t.Fatalf("missing no-overlap notice:\n%s", report)
+	}
+}

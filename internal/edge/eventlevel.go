@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -15,12 +16,19 @@ import (
 // (≈30 k events per 25 s run) and exists to validate it — the test suite
 // checks that both modes agree on frame loss and QoE — and to measure
 // true per-frame latency rather than Little's-law estimates.
-func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
+func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Result, error) {
 	cfg.defaults()
 	if ctl == nil {
 		return nil, fmt.Errorf("edge: nil controller")
 	}
-	rng := sim.RNG(cfg.Seed, "workload/"+scn.Name)
+	o := applyRunOptions(opts)
+	tr := o.tracer
+	traced := tr.Enabled()
+	var meter *moduleMeter
+	if traced {
+		meter = &moduleMeter{}
+	}
+	rng := o.rng(cfg.Seed, "workload/"+scn.Name)
 	wl, err := NewWorkload(scn, rng)
 	if err != nil {
 		return nil, err
@@ -30,6 +38,13 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		eng.SetTracer(tr)
+		inj.SetTracer(tr)
+		if ta, ok := ctl.(TracerAware); ok {
+			ta.SetTracer(tr)
+		}
 	}
 	ra, reconfAware := ctl.(ReconfigAware)
 
@@ -72,6 +87,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 		svc := 1 / serving.FPS
 		cur := serving
 		if err := eng.After(svc, func() {
+			meter.hit(modService)
 			busy = false
 			done := eng.Now()
 			integrate(done)
@@ -89,6 +105,11 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 			acc.Add(0, 1, 0, measured, eInf(cur), 0)
 			latencySum += done - arrivedAt
 			latencyN++
+			if traced {
+				tr.Hot(done, obs.EdgeCat, "frame",
+					obs.F("latency_ms", (done-arrivedAt)*1e3),
+					obs.I("queue", len(queue)))
+			}
 			startService()
 		}); err != nil {
 			panic(err) // forward scheduling cannot fail
@@ -99,7 +120,10 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 		if stall > 0 {
 			if until := now + stall.Seconds(); until > stallUntil {
 				stallUntil = until
-				if err := eng.Schedule(stallUntil, startService); err != nil {
+				if err := eng.Schedule(stallUntil, func() {
+					meter.hit(modStallWake)
+					startService()
+				}); err != nil {
 					panic(err)
 				}
 			}
@@ -131,7 +155,10 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 					res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "degraded", Detail: "retry budget exhausted; fixed banned"})
 				}
 				if at := now + stall.Seconds() + retry.Seconds(); at < scn.Duration {
-					if h, err := eng.ScheduleCancelable(at, func() { react(eng.Now()) }); err == nil {
+					if h, err := eng.ScheduleCancelable(at, func() {
+						meter.hit(modRetry)
+						react(eng.Now())
+					}); err == nil {
 						retryH, haveRetry = h, true
 					}
 				}
@@ -145,6 +172,12 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 		}
 		if switched || reconf {
 			extendStall(now, stall)
+			if traced {
+				tr.Emit(now, obs.EdgeCat, "switch",
+					obs.S("label", s.Label),
+					obs.B("reconf", reconf),
+					obs.F("stall_s", stall.Seconds()))
+			}
 			res.Switches = append(res.Switches, SwitchEvent{Time: now, Label: s.Label, Reconfigured: reconf})
 			if switched {
 				acc.Switches++
@@ -164,6 +197,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 			return
 		}
 		if err := eng.Schedule(next, func() {
+			meter.hit(modWorkload)
 			wl.Redraw(eng.Now())
 			react(eng.Now())
 			scheduleRedraw(eng.Now())
@@ -175,7 +209,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 
 	// Frame arrivals: deterministic spacing at the current rate, or
 	// exponential gaps when PoissonArrivals is set.
-	arrivalRNG := sim.RNG(cfg.Seed, "arrivals/"+scn.Name)
+	arrivalRNG := o.rng(cfg.Seed, "arrivals/"+scn.Name)
 	var scheduleArrival func(t float64)
 	scheduleArrival = func(t float64) {
 		if wl.Rate() <= 0 {
@@ -197,10 +231,19 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 			return
 		}
 		if err := eng.Schedule(next, func() {
+			meter.hit(modArrival)
 			now := eng.Now()
 			integrate(now)
 			if float64(len(queue)) >= cfg.QueueFrames {
 				acc.Add(1, 0, 1, 0, 0, 0)
+				if traced {
+					cause := "queue-full"
+					if now < stallUntil {
+						cause = "stall"
+					}
+					tr.Hot(now, obs.EdgeCat, "drop",
+						obs.F("frames", 1), obs.S("cause", cause))
+				}
 			} else {
 				acc.Add(1, 0, 0, 0, 0, 0)
 				queue = append(queue, now)
@@ -221,6 +264,17 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error)
 	res.RunStats = acc.Finalize()
 	if latencyN > 0 {
 		res.RunStats.AvgLatencyMS = latencySum / latencyN * 1e3
+	}
+	if traced {
+		meter.emit(tr, scn.Duration)
+		tr.Emit(scn.Duration, obs.EdgeCat, "run",
+			obs.F("arrived", res.Arrived),
+			obs.F("processed", res.Processed),
+			obs.F("dropped", res.Dropped),
+			obs.F("qoe_pct", res.QoEPct),
+			obs.F("avg_latency_ms", res.RunStats.AvgLatencyMS),
+			obs.I("switches", res.RunStats.Switches),
+			obs.I("reconfigs", res.RunStats.Reconfigs))
 	}
 	return res, nil
 }

@@ -1,0 +1,117 @@
+package edge
+
+import (
+	"math/rand"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RunOption customizes a simulation run beyond SimConfig: cross-cutting
+// concerns (tracing, RNG construction, future observers) compose as
+// functional options instead of growing the config struct. Run,
+// RunEventLevel and RunRepeated all take a trailing ...RunOption, so every
+// pre-existing call site compiles unchanged.
+type RunOption func(*runOptions)
+
+// runOptions is the resolved option set. Its zero value (plus defaults)
+// reproduces the un-optioned behaviour exactly.
+type runOptions struct {
+	tracer *obs.Trace
+	rng    func(seed int64, stream string) *rand.Rand
+}
+
+func applyRunOptions(opts []RunOption) runOptions {
+	o := runOptions{rng: sim.RNG}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if o.rng == nil {
+		o.rng = sim.RNG
+	}
+	return o
+}
+
+// WithTracer attaches an observability trace to the run: the engine, the
+// fault injector, the serving loop, and (via TracerAware) the controller's
+// Runtime Manager all emit through it. Tracing is passive — results are
+// bit-identical with or without it. A nil trace is ignored.
+func WithTracer(tr *obs.Trace) RunOption {
+	return func(o *runOptions) { o.tracer = tr }
+}
+
+// WithRNG overrides how the run derives its seeded random streams (the
+// workload redraw and arrival-gap streams). The default is sim.RNG. The
+// function is called once per stream with the run's seed and a stream
+// label, and must be deterministic in (seed, stream) for runs to replay.
+func WithRNG(fn func(seed int64, stream string) *rand.Rand) RunOption {
+	return func(o *runOptions) { o.rng = fn }
+}
+
+// TracerAware is implemented by controllers that can propagate the run's
+// tracer into their decision core (the AdaFlow controller forwards it to
+// its Runtime Manager, so "manager/decide" events carry every verdict).
+type TracerAware interface {
+	SetTracer(tr *obs.Trace)
+}
+
+// Module indices of the serving loop's event classes, for the per-module
+// dispatch counters emitted as "sim/module" events.
+const (
+	modWorkload = iota
+	modStep
+	modThreshold
+	modRetry
+	modArrival
+	modService
+	modStallWake
+	numModules
+)
+
+var moduleNames = [numModules]string{
+	modWorkload:  "workload",
+	modStep:      "accounting",
+	modThreshold: "threshold",
+	modRetry:     "reconfig-retry",
+	modArrival:   "arrival",
+	modService:   "service",
+	modStallWake: "stall-wake",
+}
+
+// moduleMeter counts dispatched events per serving-loop module. It is nil
+// when tracing is off, so the untraced hot path pays only a nil check.
+type moduleMeter struct {
+	counts [numModules]int
+}
+
+func (m *moduleMeter) hit(mod int) {
+	if m != nil {
+		m.counts[mod]++
+	}
+}
+
+// emit reports one "sim/module" event per module that fired.
+func (m *moduleMeter) emit(tr *obs.Trace, now float64) {
+	if m == nil {
+		return
+	}
+	total := 0
+	for _, c := range m.counts {
+		total += c
+	}
+	for mod, c := range m.counts {
+		if c == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(c) / float64(total)
+		}
+		tr.Emit(now, obs.SimCat, "module",
+			obs.S("module", moduleNames[mod]),
+			obs.I("events", c),
+			obs.F("share", share))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 )
@@ -141,13 +142,22 @@ func (c *SimConfig) defaults() {
 	}
 }
 
-// Run simulates one scenario run with the given controller.
-func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
+// Run simulates one scenario run with the given controller. Trailing
+// RunOptions attach cross-cutting behaviour (WithTracer, WithRNG); with no
+// options the behaviour is exactly the historical one.
+func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Result, error) {
 	cfg.defaults()
 	if ctl == nil {
 		return nil, fmt.Errorf("edge: nil controller")
 	}
-	rng := sim.RNG(cfg.Seed, "workload/"+scn.Name)
+	o := applyRunOptions(opts)
+	tr := o.tracer
+	traced := tr.Enabled()
+	var meter *moduleMeter
+	if traced {
+		meter = &moduleMeter{}
+	}
+	rng := o.rng(cfg.Seed, "workload/"+scn.Name)
 	wl, err := NewWorkload(scn, rng)
 	if err != nil {
 		return nil, err
@@ -157,6 +167,13 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		eng.SetTracer(tr)
+		inj.SetTracer(tr)
+		if ta, ok := ctl.(TracerAware); ok {
+			ta.SetTracer(tr)
+		}
 	}
 	ra, reconfAware := ctl.(ReconfigAware)
 
@@ -205,7 +222,10 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 					res.FaultEvents = append(res.FaultEvents, FaultEvent{Time: now, Kind: "degraded", Detail: "retry budget exhausted; fixed banned"})
 				}
 				if at := now + stall.Seconds() + retry.Seconds(); at < scn.Duration {
-					if h, err := eng.ScheduleCancelable(at, func() { react(eng.Now()) }); err == nil {
+					if h, err := eng.ScheduleCancelable(at, func() {
+						meter.hit(modRetry)
+						react(eng.Now())
+					}); err == nil {
 						retryH, haveRetry = h, true
 					}
 				}
@@ -226,6 +246,12 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 			if reconf {
 				acc.Reconfigs++
 			}
+			if traced {
+				tr.Emit(now, obs.EdgeCat, "switch",
+					obs.S("label", s.Label),
+					obs.B("reconf", reconf),
+					obs.F("stall_s", stall.Seconds()))
+			}
 		}
 		serving = s
 	}
@@ -242,6 +268,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 			return nil, fmt.Errorf("edge: controller %T cannot change thresholds", ctl)
 		}
 		if err := eng.Schedule(tc.Time, func() {
+			meter.hit(modThreshold)
 			if err := ts.SetAccuracyThreshold(tc.Threshold); err == nil {
 				react(eng.Now())
 			}
@@ -258,6 +285,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 			return
 		}
 		if err := eng.Schedule(next, func() {
+			meter.hit(modWorkload)
 			wl.Redraw(eng.Now())
 			react(eng.Now())
 			scheduleRedraw(eng.Now())
@@ -272,6 +300,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 	for i := 1; i <= steps; i++ {
 		t := float64(i) * cfg.Step
 		if err := eng.Schedule(t, func() {
+			meter.hit(modStep)
 			now := eng.Now()
 			dt := cfg.Step
 			arrived := wl.Rate() * dt
@@ -318,6 +347,21 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 			}
 			acc.Add(arrived, processed, dropped, measured, power*dt, dt)
 			acc.AddQueue(queue, dt)
+			if traced {
+				if dropped > 0 {
+					cause := "queue-full"
+					if stalled > 0 {
+						cause = "stall"
+					}
+					tr.Emit(now, obs.EdgeCat, "drop",
+						obs.F("frames", dropped), obs.S("cause", cause))
+				}
+				tr.Hot(now, obs.EdgeCat, "step",
+					obs.F("queue", queue),
+					obs.F("arrived", arrived),
+					obs.F("processed", processed),
+					obs.F("stalled", stalled))
+			}
 
 			if cfg.RecordTrace {
 				snap := acc.Finalize()
@@ -347,6 +391,16 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig) (*Result, error) {
 	eng.Run(scn.Duration + 1)
 	copyFaultCounts(&acc, inj)
 	res.RunStats = acc.Finalize()
+	if traced {
+		meter.emit(tr, scn.Duration)
+		tr.Emit(scn.Duration, obs.EdgeCat, "run",
+			obs.F("arrived", res.Arrived),
+			obs.F("processed", res.Processed),
+			obs.F("dropped", res.Dropped),
+			obs.F("qoe_pct", res.QoEPct),
+			obs.I("switches", res.RunStats.Switches),
+			obs.I("reconfigs", res.RunStats.Reconfigs))
+	}
 	return res, nil
 }
 
@@ -369,10 +423,11 @@ func copyFaultCounts(acc *metrics.Accumulator, inj *fault.Injector) {
 // the mean is taken in seed order, making the result identical to the
 // serial loop. Controllers are still constructed serially in seed order —
 // mk closures are not required to be concurrency-safe.
-func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64, cfg SimConfig) (metrics.RunStats, []metrics.RunStats, error) {
+func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64, cfg SimConfig, opts ...RunOption) (metrics.RunStats, []metrics.RunStats, error) {
 	if n <= 0 {
 		return metrics.RunStats{}, nil, fmt.Errorf("edge: non-positive run count %d", n)
 	}
+	o := applyRunOptions(opts)
 	ctls := make([]Controller, n)
 	for i := range ctls {
 		ctl, err := mk()
@@ -387,7 +442,16 @@ func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64,
 		c.Seed = seed + int64(i)
 		c.FaultSeed = cfg.FaultSeed + int64(i)
 		c.RecordTrace = false
-		r, err := Run(scn, ctls[i], c)
+		// Each run derives its own tracer child: events share the sink
+		// (which must be concurrency-safe) and carry a run=i attribute, so
+		// the aggregate snapshot is interleaving-independent.
+		ro := opts
+		if o.tracer != nil {
+			ro = make([]RunOption, len(opts), len(opts)+1)
+			copy(ro, opts)
+			ro = append(ro, WithTracer(o.tracer.With(obs.I("run", i))))
+		}
+		r, err := Run(scn, ctls[i], c, ro...)
 		if err != nil {
 			return err
 		}
@@ -433,6 +497,12 @@ type AdaFlowController struct {
 // NewAdaFlow wraps a manager.
 func NewAdaFlow(mgr *manager.Manager) *AdaFlowController {
 	return &AdaFlowController{mgr: mgr}
+}
+
+// SetTracer implements TracerAware by forwarding the run's tracer to the
+// Runtime Manager, whose Decide then emits "manager/decide" events.
+func (c *AdaFlowController) SetTracer(tr *obs.Trace) {
+	c.mgr.SetTracer(tr)
 }
 
 // SetAccuracyThreshold implements ThresholdSetter by delegating to the

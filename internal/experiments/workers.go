@@ -2,28 +2,22 @@ package experiments
 
 import (
 	"runtime"
-	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Concurrency cap for the experiment harness (library warm-up and
 // per-scenario/per-series fan-outs), following the tensor.SetMaxWorkers
 // convention. Every fan-out writes indexed result slots and assembles them
-// in loop order, so results never depend on this value.
+// in loop order, so results never depend on this value. The cap lives in
+// the parallel knob registry so adaflow.SetParallelism drives it together
+// with the repo's other caps.
 
-var maxWorkers atomic.Int64
-
-func init() {
-	maxWorkers.Store(int64(runtime.NumCPU()))
-}
+var maxWorkers = parallel.RegisterKnob("experiments.harness", runtime.NumCPU())
 
 // SetMaxWorkers caps the harness's fan-out width and returns the previous
 // cap. n <= 0 resets to runtime.NumCPU(); 1 forces serial execution.
-func SetMaxWorkers(n int) int {
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	return int(maxWorkers.Swap(int64(n)))
-}
+func SetMaxWorkers(n int) int { return maxWorkers.Set(n) }
 
 // MaxWorkers returns the current cap.
-func MaxWorkers() int { return int(maxWorkers.Load()) }
+func MaxWorkers() int { return maxWorkers.Get() }

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -240,7 +241,19 @@ type Injector struct {
 	plan    Plan
 	streams [numKinds]*rand.Rand
 	counts  Counts
+
+	// failStreak counts consecutive reconfiguration failures, so the
+	// tracer can mark the recovery when a later attempt goes through.
+	failStreak int
+	// trace, when enabled, receives one "fault/inject" event per fired
+	// fault and a "fault/recover" event when a reconfiguration succeeds
+	// after failures. Emission is outside the RNG draw path, so traced and
+	// untraced runs consume identical randomness.
+	trace *obs.Trace
 }
+
+// SetTracer attaches an observability trace (nil detaches).
+func (in *Injector) SetTracer(tr *obs.Trace) { in.trace = tr }
 
 // NewInjector validates the plan and derives the per-kind streams from
 // seed. A nil plan yields a fault-free injector.
@@ -292,14 +305,33 @@ func (in *Injector) Reconfig(now float64) ReconfigOutcome {
 	out := ReconfigOutcome{StallFactor: 1}
 	if failed, _ := in.fires(ReconfigFail, now); failed {
 		in.counts.ReconfigFailures++
+		in.failStreak++
 		out.Failed = true
+		in.inject(now, ReconfigFail, 0)
 		return out
+	}
+	if in.failStreak > 0 {
+		if in.trace.Enabled() {
+			in.trace.Emit(now, obs.FaultCat, "recover",
+				obs.I("after_failures", in.failStreak))
+		}
+		in.failStreak = 0
 	}
 	if stalled, mag := in.fires(ReconfigStall, now); stalled {
 		in.counts.ReconfigStalls++
 		out.StallFactor = mag
+		in.inject(now, ReconfigStall, mag)
 	}
 	return out
+}
+
+// inject emits the per-fire trace event.
+func (in *Injector) inject(now float64, kind Kind, mag float64) {
+	if !in.trace.Enabled() {
+		return
+	}
+	in.trace.Emit(now, obs.FaultCat, "inject",
+		obs.S("kind", kind.String()), obs.F("mag", mag))
 }
 
 // Observe passes a workload observation through the sensor faults. It
@@ -309,6 +341,7 @@ func (in *Injector) Reconfig(now float64) ReconfigOutcome {
 func (in *Injector) Observe(now, actual float64) (obs float64, ok bool) {
 	if dropped, _ := in.fires(SensorDropout, now); dropped {
 		in.counts.SensorDropouts++
+		in.inject(now, SensorDropout, 0)
 		return 0, false
 	}
 	obs = actual
@@ -319,6 +352,7 @@ func (in *Injector) Observe(now, actual float64) (obs float64, ok bool) {
 		if obs < 0 {
 			obs = 0
 		}
+		in.inject(now, SensorSpike, mag)
 	}
 	return obs, true
 }
@@ -328,6 +362,7 @@ func (in *Injector) Observe(now, actual float64) (obs float64, ok bool) {
 func (in *Injector) Drift(now float64) float64 {
 	if drifted, mag := in.fires(AccuracyDrift, now); drifted {
 		in.counts.AccuracyDrifts++
+		in.inject(now, AccuracyDrift, mag)
 		return mag
 	}
 	return 0

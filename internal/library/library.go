@@ -114,8 +114,9 @@ type Config struct {
 	KeepModels bool
 	// FlexSwitchTime defaults to 1 ms.
 	FlexSwitchTime time.Duration
-	// Workers bounds the concurrency of the rate sweep: 0 or 1 runs
-	// serially, n spreads the per-rate work over n goroutines. The library
+	// Workers bounds the concurrency of the rate sweep: n spreads the
+	// per-rate work over n goroutines; <= 0 falls back to DefaultWorkers()
+	// (serial unless raised via adaflow.SetParallelism). The library
 	// produced is bit-identical for every value.
 	Workers int
 }
@@ -167,7 +168,7 @@ func Generate(initial *model.Model, cfg Config) (*Library, error) {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = 1
+		workers = DefaultWorkers()
 	}
 
 	fold := finn.DefaultFolding(initial)

@@ -1,0 +1,18 @@
+package library
+
+import "repro/internal/parallel"
+
+// defaultWorkers is the fallback concurrency of Generate's rate sweep when
+// Config.Workers is unset. Its initial value of 1 preserves the historical
+// "0 means serial" semantics; adaflow.SetParallelism (parallel.SetAll)
+// raises it together with the repo's other fan-out caps, and SetAll(0)
+// resets it back to serial.
+var defaultWorkers = parallel.RegisterKnob("library.generate", 1)
+
+// SetDefaultWorkers sets the worker count Generate uses when
+// Config.Workers <= 0, returning the previous default. n <= 0 resets to
+// the serial default of 1. An explicit Config.Workers always wins.
+func SetDefaultWorkers(n int) int { return defaultWorkers.Set(n) }
+
+// DefaultWorkers returns the current default for Config.Workers <= 0.
+func DefaultWorkers() int { return defaultWorkers.Get() }

@@ -18,9 +18,12 @@ package manager
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/library"
+	"repro/internal/obs"
 )
 
 // AccelKind distinguishes the two accelerator families.
@@ -159,6 +162,12 @@ type Manager struct {
 	reconfFails   int
 	degradations  int
 	fixedBanUntil float64
+
+	// trace, when enabled, receives one "manager/decide" event per Decide
+	// call (candidate set, threshold, switch-interval verdict, degradation
+	// state) plus rollback/commit events on the reconfiguration path.
+	// Tracing is passive: it never alters a decision.
+	trace *obs.Trace
 }
 
 // snapshot is the rollback state for an uncommitted reconfiguration.
@@ -193,6 +202,10 @@ func New(lib *library.Library, cfg Config) (*Manager, error) {
 
 // Library returns the manager's library.
 func (m *Manager) Library() *library.Library { return m.lib }
+
+// SetTracer attaches an observability trace (nil detaches). The edge
+// simulation wires the run's tracer through here (edge.TracerAware).
+func (m *Manager) SetTracer(tr *obs.Trace) { m.trace = tr }
 
 // SetAccuracyThreshold changes the user threshold at run time; the paper's
 // Runtime Manager "will act every time there is a change in either
@@ -282,12 +295,26 @@ func (m *Manager) ReconfigFailed(now float64) (retry time.Duration, degraded boo
 		retry = m.cfg.RetryBackoff
 		degraded = true
 	}
+	if m.trace.Enabled() {
+		m.trace.Emit(now, obs.ManagerCat, "rollback",
+			obs.I("consec_fails", m.consecFails),
+			obs.I("total_fails", m.reconfFails),
+			obs.F("retry_s", retry.Seconds()),
+			obs.B("degraded", degraded),
+			obs.F("ban_until", m.fixedBanUntil))
+	}
 	return retry, degraded
 }
 
 // ReconfigSucceeded confirms the last requested reconfiguration took
 // effect, committing the decision and resetting the failure streak.
 func (m *Manager) ReconfigSucceeded(now float64) {
+	if m.trace.Enabled() {
+		m.trace.Emit(now, obs.ManagerCat, "commit",
+			obs.I("entry", m.cur.Entry),
+			obs.S("kind", m.cur.Kind.String()),
+			obs.B("recovered", m.consecFails > 0))
+	}
 	m.haveSnap = false
 	m.consecFails = 0
 }
@@ -353,6 +380,43 @@ func (m *Manager) SelectModel(incomingFPS float64) int {
 	return best
 }
 
+// eligibleSet renders the indices of the threshold-eligible entries
+// ("0,1,2,…") for the decision trace. Only called when tracing is enabled,
+// so untraced decisions never pay the allocation.
+func (m *Manager) eligibleSet() string {
+	var b strings.Builder
+	for i := range m.lib.Entries {
+		if !m.eligible(i) {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(i))
+	}
+	return b.String()
+}
+
+// traceDecide emits the "manager/decide" event: the full context of one
+// decision — chosen entry and family, the candidate set under the active
+// threshold, the switch-interval verdict against the criteria cutoff, and
+// the degradation state.
+func (m *Manager) traceDecide(now, incomingFPS float64, entry int, kind, ruleKind AccelKind, interval, cutoff float64, changed, switched, degraded bool) {
+	m.trace.Emit(now, obs.ManagerCat, "decide",
+		obs.F("incoming", incomingFPS),
+		obs.I("entry", entry),
+		obs.S("kind", kind.String()),
+		obs.B("changed", changed),
+		obs.B("switched", switched),
+		obs.S("eligible", m.eligibleSet()),
+		obs.F("threshold", m.cfg.AccuracyThreshold),
+		obs.F("interval_s", interval),
+		obs.F("criteria_s", cutoff),
+		obs.S("verdict", ruleKind.String()),
+		obs.B("degraded", degraded),
+		obs.F("ban_until", m.fixedBanUntil))
+}
+
 // Decide reacts to a workload observation at simulation time now
 // (seconds), returning the new decision and whether it changed the serving
 // configuration. The returned Decision carries the switching cost to apply.
@@ -371,10 +435,12 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 			interval = obs
 		}
 	}
+	cutoff := m.cfg.CriteriaMultiple * m.lib.ReconfigTime.Seconds()
 	kind := Flexible
-	if interval >= m.cfg.CriteriaMultiple*m.lib.ReconfigTime.Seconds() {
+	if interval >= cutoff {
 		kind = Fixed
 	}
+	ruleKind := kind // the interval rule's verdict, before any ban
 	// Degradation fallback: while Fixed-Pruning is banned (repeated
 	// reconfiguration failures), serve from the Flexible accelerator even
 	// when the switch-interval rule would pick Fixed.
@@ -383,14 +449,21 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 		kind = Flexible
 		degraded = true
 	}
+	traced := m.trace.Enabled()
 
 	if !modelSwitch && m.haveCur && kind == m.cur.Kind {
+		if traced {
+			m.traceDecide(now, incomingFPS, entry, kind, ruleKind, interval, cutoff, false, false, degraded)
+		}
 		return m.cur, false
 	}
 	// A family change without a model change still requires loading the
 	// other accelerator (a reconfiguration); only perform it alongside a
 	// model switch to avoid gratuitous reloads.
 	if !modelSwitch && m.haveCur && kind != m.cur.Kind {
+		if traced {
+			m.traceDecide(now, incomingFPS, entry, m.cur.Kind, ruleKind, interval, cutoff, false, false, degraded)
+		}
 		return m.cur, false
 	}
 
@@ -441,5 +514,8 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 		Time: now, Incoming: incomingFPS,
 		Entry: d.Entry, Kind: d.Kind, Switched: modelSwitch, Degraded: degraded,
 	})
+	if traced {
+		m.traceDecide(now, incomingFPS, entry, kind, ruleKind, interval, cutoff, true, modelSwitch, degraded)
+	}
 	return d, true
 }

@@ -112,3 +112,85 @@ func TestStdFrameLoss(t *testing.T) {
 		t.Fatalf("std = %v", std)
 	}
 }
+
+// TestAccumulatorFaultCounters checks fault counts survive Finalize
+// untouched and average (with rounding) through Mean.
+func TestAccumulatorFaultCounters(t *testing.T) {
+	var a Accumulator
+	a.Add(10, 10, 0, 1, 1, 1)
+	a.Faults = FaultStats{
+		ReconfigFailures: 3,
+		ReconfigStalls:   2,
+		SensorDropouts:   5,
+		SensorSpikes:     7,
+		AccuracyDrifts:   11,
+		Degradations:     1,
+	}
+	s := a.Finalize()
+	if s.Faults != a.Faults {
+		t.Fatalf("Finalize altered fault counts: %+v != %+v", s.Faults, a.Faults)
+	}
+
+	other := s
+	other.Faults = FaultStats{} // a clean run
+	m, err := Mean([]RunStats{s, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counter means round half away from zero: 3/2 → 2, 5/2 → 3, 1/2 → 1.
+	want := FaultStats{
+		ReconfigFailures: 2,
+		ReconfigStalls:   1,
+		SensorDropouts:   3,
+		SensorSpikes:     4,
+		AccuracyDrifts:   6,
+		Degradations:     1,
+	}
+	if m.Faults != want {
+		t.Fatalf("Mean faults = %+v, want %+v", m.Faults, want)
+	}
+}
+
+// TestMeanHeterogeneousRuns averages runs of very different lengths and
+// magnitudes: every ratio field must average the per-run ratios (not
+// recompute from pooled totals), counters must round, and the queue peak
+// must take the max.
+func TestMeanHeterogeneousRuns(t *testing.T) {
+	// A short run: 10 frames, lossless, low power.
+	var short Accumulator
+	short.Add(10, 10, 0, 0.9, 5, 1)
+	short.AddQueue(1, 1)
+	short.Switches = 1
+	// A long run: 1000 frames, 10% loss, high power.
+	var long Accumulator
+	long.Add(1000, 900, 100, 0.8, 450, 100)
+	long.AddQueue(9, 100)
+	long.Switches = 4
+
+	a, b := short.Finalize(), long.Finalize()
+	m, err := Mean([]RunStats{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("Arrived", m.Arrived, (10+1000)/2.0)
+	approx("FrameLossPct", m.FrameLossPct, (a.FrameLossPct+b.FrameLossPct)/2)
+	// Per-run averaging weights the short run equally with the long one —
+	// that is the paper's "average of N runs", not a pooled-frames mean.
+	if pooled := 100 * 100.0 / 1010.0; math.Abs(m.FrameLossPct-pooled) < 1e-9 {
+		t.Errorf("Mean pooled frames instead of averaging per-run loss")
+	}
+	approx("AvgPowerW", m.AvgPowerW, (a.AvgPowerW+b.AvgPowerW)/2)
+	approx("AvgQueueFrames", m.AvgQueueFrames, (a.AvgQueueFrames+b.AvgQueueFrames)/2)
+	if m.MaxQueueFrames != 9 {
+		t.Errorf("MaxQueueFrames = %v, want the max 9", m.MaxQueueFrames)
+	}
+	if m.Switches != 3 { // (1+4)/2 rounded
+		t.Errorf("Switches = %d, want 3", m.Switches)
+	}
+}

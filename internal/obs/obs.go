@@ -1,0 +1,357 @@
+// Package obs is the decision-trace observability layer of the serving
+// stack: typed events emitted by the simulation kernel (internal/sim), the
+// edge server (internal/edge), the Runtime Manager (internal/manager) and
+// the fault injector (internal/fault), fanned out to pluggable sinks — a
+// JSONL event trace, an in-memory ring buffer for tests, and a
+// Prometheus-style text snapshot exporter.
+//
+// Design constraints, in priority order:
+//
+//  1. Zero cost when disabled. A nil *Trace is a valid, inert tracer; hot
+//     paths guard event construction with Trace.Enabled(), which is a nil
+//     check plus one atomic load (the package-level Disabled kill switch),
+//     so an untraced simulation pays no allocation and no branch beyond
+//     that.
+//  2. Passive. Tracers only read simulation state: they never consume RNG
+//     draws, schedule events, or otherwise perturb a run, so results are
+//     bit-identical with tracing on or off. Golden-trace tests pin this.
+//  3. Deterministic. Events carry simulation time, never wall-clock time;
+//     attribute order is fixed by the emitter; sampling is counter-based,
+//     not randomized. The same run yields byte-identical JSONL traces.
+//
+// The layer is surfaced through the adaflow facade (WithTracer run option)
+// and cmd/adaflow-sim (-trace out.jsonl, -metrics-snapshot).
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// Disabled is the package-level kill switch: when true, every Trace is
+// inert regardless of its sink. Benchmarks and the overhead guard flip it
+// to measure the fully-disabled fast path; it is an atomic so tests under
+// the race detector can toggle it around concurrent runs.
+var Disabled atomic.Bool
+
+// Category classifies an event by the subsystem that emitted it.
+type Category uint8
+
+// Event categories, one per instrumented subsystem.
+const (
+	// SimCat: discrete-event engine internals (dispatch loop, heap).
+	SimCat Category = iota
+	// EdgeCat: edge-server serving path (steps, frames, drops, stalls).
+	EdgeCat
+	// ManagerCat: Runtime Manager decisions and degradation state.
+	ManagerCat
+	// FaultCat: fault-injector activity (injections and recoveries).
+	FaultCat
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	SimCat:     "sim",
+	EdgeCat:    "edge",
+	ManagerCat: "manager",
+	FaultCat:   "fault",
+}
+
+// String names the category.
+func (c Category) String() string {
+	if c >= numCategories {
+		return "obs.Category(" + strconv.Itoa(int(c)) + ")"
+	}
+	return categoryNames[c]
+}
+
+// attrKind discriminates the Attr payload.
+type attrKind uint8
+
+const (
+	attrFloat attrKind = iota
+	attrInt
+	attrString
+	attrBool
+)
+
+// Attr is one typed key/value attribute of an event. Attributes keep their
+// emission order end to end, so traces serialize deterministically.
+type Attr struct {
+	Key  string
+	kind attrKind
+	f    float64
+	i    int64
+	s    string
+}
+
+// F builds a float attribute.
+func F(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// I builds an integer attribute.
+func I(key string, v int) Attr { return Attr{Key: key, kind: attrInt, i: int64(v)} }
+
+// S builds a string attribute.
+func S(key string, v string) Attr { return Attr{Key: key, kind: attrString, s: v} }
+
+// B builds a boolean attribute.
+func B(key string, v bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Float returns the attribute as a float64 (booleans as 0/1, strings as 0).
+func (a Attr) Float() float64 {
+	switch a.kind {
+	case attrFloat:
+		return a.f
+	case attrInt, attrBool:
+		return float64(a.i)
+	}
+	return 0
+}
+
+// IsNumeric reports whether the attribute carries a numeric (or boolean)
+// payload — the ones the metrics snapshot aggregates.
+func (a Attr) IsNumeric() bool { return a.kind != attrString }
+
+// Value returns the attribute payload as an any (float64, int64, string,
+// or bool), for tests and generic consumers.
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrFloat:
+		return a.f
+	case attrInt:
+		return a.i
+	case attrBool:
+		return a.i != 0
+	}
+	return a.s
+}
+
+// appendJSON appends the attribute as a `"key":value` JSON fragment.
+func (a Attr) appendJSON(b []byte) []byte {
+	b = appendJSONString(b, a.Key)
+	b = append(b, ':')
+	switch a.kind {
+	case attrFloat:
+		b = appendJSONFloat(b, a.f)
+	case attrInt:
+		b = strconv.AppendInt(b, a.i, 10)
+	case attrBool:
+		b = strconv.AppendBool(b, a.i != 0)
+	default:
+		b = appendJSONString(b, a.s)
+	}
+	return b
+}
+
+// Event is one observability record: a simulation timestamp, the emitting
+// subsystem, a name within it, and ordered typed attributes.
+type Event struct {
+	// Time is the simulation time in seconds (never wall-clock: traces
+	// must replay byte-identically).
+	Time float64
+	Cat  Category
+	Name string
+	// Attrs keep emission order; sinks must not mutate them.
+	Attrs []Attr
+}
+
+// Attr returns the named attribute and whether it exists.
+func (ev Event) Attr(key string) (Attr, bool) {
+	for _, a := range ev.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// AppendJSON appends the event as one JSON object (no trailing newline).
+// Field order is fixed — t, cat, name, then attributes in emission order —
+// so the rendering is deterministic without reflection.
+func (ev Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"t":`...)
+	b = appendJSONFloat(b, ev.Time)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, ev.Cat.String())
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, ev.Name)
+	for _, a := range ev.Attrs {
+		b = append(b, ',')
+		b = a.appendJSON(b)
+	}
+	return append(b, '}')
+}
+
+// Tracer is a sink for events. Implementations must be safe for concurrent
+// Emit calls: repeated-run simulations fan out over goroutines and share
+// one sink (each run tags its events via Trace.With).
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Trace is the emission handle the instrumented subsystems hold. A nil
+// *Trace is valid and inert, which is the disabled fast path: call sites
+// guard with Enabled() and never allocate when tracing is off.
+//
+// A Trace is not safe for concurrent use (the sampling counter is plain
+// state); derive one per goroutine with With. Sinks behind it are shared
+// and must be concurrency-safe.
+type Trace struct {
+	sink  Tracer
+	every uint64 // emit every Nth hot event; 1 = all
+	base  []Attr // appended to every event (e.g. run index)
+	hotN  uint64
+}
+
+// Option configures a Trace.
+type Option func(*Trace)
+
+// Sample keeps one in every n high-frequency (Hot) events; n <= 1 keeps
+// all. Sampling is counter-based, so it is deterministic and consumes no
+// randomness. Regular Emit events are never sampled.
+func Sample(n int) Option {
+	return func(tr *Trace) {
+		if n < 1 {
+			n = 1
+		}
+		tr.every = uint64(n)
+	}
+}
+
+// New builds a Trace over a sink. A nil sink yields a nil (inert) Trace.
+func New(sink Tracer, opts ...Option) *Trace {
+	if sink == nil {
+		return nil
+	}
+	tr := &Trace{sink: sink, every: 1}
+	for _, o := range opts {
+		o(tr)
+	}
+	return tr
+}
+
+// Enabled reports whether emissions reach a sink. Hot paths call it before
+// constructing attributes, so the disabled cost is a nil check plus one
+// atomic load.
+func (tr *Trace) Enabled() bool {
+	return tr != nil && !Disabled.Load()
+}
+
+// With derives a child Trace that appends attrs to every event. The child
+// has its own sampling counter (deterministic per derivation) and shares
+// the parent's sink, so repeated runs each derive one child and emit
+// concurrently.
+func (tr *Trace) With(attrs ...Attr) *Trace {
+	if tr == nil {
+		return nil
+	}
+	base := make([]Attr, 0, len(tr.base)+len(attrs))
+	base = append(base, tr.base...)
+	base = append(base, attrs...)
+	return &Trace{sink: tr.sink, every: tr.every, base: base}
+}
+
+// Emit records one event unconditionally (subject only to Enabled).
+// Decision-grade events — manager verdicts, faults, switches — go through
+// Emit so sampling can never drop them.
+func (tr *Trace) Emit(t float64, cat Category, name string, attrs ...Attr) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.send(t, cat, name, attrs)
+}
+
+// Hot records one high-frequency event, subject to the Sample rate:
+// per-step, per-frame and per-dispatch instrumentation goes through Hot so
+// long runs stay tractable.
+func (tr *Trace) Hot(t float64, cat Category, name string, attrs ...Attr) {
+	if !tr.Enabled() {
+		return
+	}
+	n := tr.hotN
+	tr.hotN++
+	if tr.every > 1 && n%tr.every != 0 {
+		return
+	}
+	tr.send(t, cat, name, attrs)
+}
+
+func (tr *Trace) send(t float64, cat Category, name string, attrs []Attr) {
+	if len(tr.base) > 0 {
+		// attrs is the caller's fresh varargs slice; appending the base
+		// attributes cannot alias emitter state.
+		attrs = append(attrs, tr.base...)
+	}
+	tr.sink.Emit(Event{Time: t, Cat: cat, Name: name, Attrs: attrs})
+}
+
+// Span is a typed interval measurement in simulation time. Start it at the
+// opening edge and End it at the closing edge; End emits one event named
+// name with begin/dur attributes ahead of any extra attrs.
+type Span struct {
+	tr    *Trace
+	cat   Category
+	name  string
+	begin float64
+}
+
+// Start opens a span at simulation time t. On a disabled Trace the span is
+// inert.
+func (tr *Trace) Start(t float64, cat Category, name string) Span {
+	if !tr.Enabled() {
+		return Span{}
+	}
+	return Span{tr: tr, cat: cat, name: name, begin: t}
+}
+
+// End closes the span at simulation time t, emitting the event.
+func (sp Span) End(t float64, attrs ...Attr) {
+	if sp.tr == nil {
+		return
+	}
+	all := make([]Attr, 0, len(attrs)+2)
+	all = append(all, F("begin", sp.begin), F("dur", t-sp.begin))
+	all = append(all, attrs...)
+	sp.tr.Emit(t, sp.cat, sp.name, all...)
+}
+
+// appendJSONFloat renders a float deterministically: shortest round-trip
+// form, with non-finite values (which JSON cannot carry) as null.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if f != f || f > 1.797693134862315708e308 || f < -1.797693134862315708e308 {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendJSONString renders a string with minimal escaping (the emitted
+// keys and labels are ASCII; anything below 0x20 plus quote/backslash is
+// escaped).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil Trace reports enabled")
+	}
+	// None of these may panic.
+	tr.Emit(1, EdgeCat, "x", F("a", 1))
+	tr.Hot(1, SimCat, "y")
+	tr.Start(0, EdgeCat, "span").End(1)
+	if tr.With(I("run", 1)) != nil {
+		t.Fatal("With on nil Trace should stay nil")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil sink) should yield the nil Trace")
+	}
+}
+
+func TestDisabledKillSwitch(t *testing.T) {
+	ring := NewRing(8)
+	tr := New(ring)
+	Disabled.Store(true)
+	defer Disabled.Store(false)
+	tr.Emit(1, EdgeCat, "x")
+	if tr.Enabled() {
+		t.Fatal("Trace enabled despite Disabled")
+	}
+	if ring.Total() != 0 {
+		t.Fatalf("event leaked through Disabled: %d", ring.Total())
+	}
+}
+
+func TestJSONLDeterministicRendering(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	tr := New(j)
+	tr.Emit(1.5, ManagerCat, "decide",
+		I("entry", 3), S("kind", "Fixed"), F("threshold", 0.1), B("degraded", false))
+	tr.Emit(2, FaultCat, "inject", S("detail", `q"uo\te`), F("mag", 1e18))
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":1.5,"cat":"manager","name":"decide","entry":3,"kind":"Fixed","threshold":0.1,"degraded":false}
+{"t":2,"cat":"fault","name":"inject","detail":"q\"uo\\te","mag":1e+18}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSONL mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	tr := New(r)
+	for i := 0; i < 5; i++ {
+		tr.Emit(float64(i), EdgeCat, "e", I("i", i))
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != float64(i+2) {
+			t.Errorf("event %d at t=%v, want %v", i, ev.Time, float64(i+2))
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestSamplingIsCounterBased(t *testing.T) {
+	r := NewRing(100)
+	tr := New(r, Sample(10))
+	for i := 0; i < 95; i++ {
+		tr.Hot(float64(i), SimCat, "event")
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("sampled %d hot events, want 10", got)
+	}
+	// Emit bypasses sampling entirely.
+	tr.Emit(1, ManagerCat, "decide")
+	if got := r.Total(); got != 11 {
+		t.Fatalf("Emit was sampled: total %d, want 11", got)
+	}
+}
+
+func TestWithAppendsBaseAttrs(t *testing.T) {
+	r := NewRing(4)
+	child := New(r).With(I("run", 7))
+	child.Emit(1, EdgeCat, "step", F("queue", 2))
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	a, ok := evs[0].Attr("run")
+	if !ok || a.Value() != int64(7) {
+		t.Fatalf("run attr = %v (ok=%v), want 7", a.Value(), ok)
+	}
+	if _, ok := evs[0].Attr("queue"); !ok {
+		t.Fatal("payload attr lost")
+	}
+}
+
+func TestSpanEmitsDuration(t *testing.T) {
+	r := NewRing(4)
+	tr := New(r)
+	sp := tr.Start(2, EdgeCat, "stall")
+	sp.End(3.5, S("label", "fixed"))
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	d, _ := evs[0].Attr("dur")
+	if d.Float() != 1.5 {
+		t.Fatalf("dur = %v, want 1.5", d.Float())
+	}
+	b, _ := evs[0].Attr("begin")
+	if b.Float() != 2 {
+		t.Fatalf("begin = %v, want 2", b.Float())
+	}
+}
+
+func TestMultiAndFilter(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	sink := Multi(a, Filter(b, func(ev Event) bool { return ev.Cat == ManagerCat }), nil)
+	tr := New(sink)
+	tr.Emit(1, EdgeCat, "step")
+	tr.Emit(2, ManagerCat, "decide")
+	if a.Total() != 2 {
+		t.Errorf("unfiltered sink saw %d events, want 2", a.Total())
+	}
+	if b.Total() != 1 {
+		t.Errorf("filtered sink saw %d events, want 1", b.Total())
+	}
+}
+
+func TestSnapshotAggregatesAndRenders(t *testing.T) {
+	s := NewSnapshot()
+	tr := New(s)
+	tr.Emit(1, EdgeCat, "step", F("queue", 4))
+	tr.Emit(2, EdgeCat, "step", F("queue", 6))
+	tr.Emit(3, ManagerCat, "decide", I("entry", 2), S("kind", "Flexible"))
+	if got := s.Count(EdgeCat, "step"); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := s.Sum(EdgeCat, "step", "queue"); got != 10 {
+		t.Errorf("Sum = %g, want 10", got)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE adaflow_events_total counter",
+		`adaflow_events_total{cat="edge",event="step"} 2`,
+		`adaflow_events_total{cat="manager",event="decide"} 1`,
+		`adaflow_attr_sum{cat="edge",event="step",attr="queue"} 10`,
+		`adaflow_attr_last{cat="edge",event="step",attr="queue"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q in:\n%s", want, out)
+		}
+	}
+	// String attrs are not aggregated.
+	if strings.Contains(out, `attr="kind"`) {
+		t.Error("string attribute leaked into numeric aggregation")
+	}
+}
+
+func TestSinksConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	sink := Multi(NewJSONL(&buf), NewRing(64), NewSnapshot())
+	parent := New(sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := parent.With(I("run", g))
+			for i := 0; i < 100; i++ {
+				tr.Emit(float64(i), EdgeCat, "step", I("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCategoryAndAttrHelpers(t *testing.T) {
+	if SimCat.String() != "sim" || FaultCat.String() != "fault" {
+		t.Error("category names wrong")
+	}
+	if got := Category(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range category string %q", got)
+	}
+	if F("x", 2.5).Value() != 2.5 || S("x", "y").Value() != "y" || B("x", true).Value() != true {
+		t.Error("attr round-trip broken")
+	}
+	if !F("x", 1).IsNumeric() || S("x", "y").IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	// Non-finite floats render as null.
+	ev := Event{Time: 0, Cat: SimCat, Name: "n", Attrs: []Attr{F("inf", inf())}}
+	if got := string(ev.AppendJSON(nil)); !strings.Contains(got, `"inf":null`) {
+		t.Errorf("non-finite float rendered as %s", got)
+	}
+}
+
+func inf() float64  { v := 1.0; return v / zero() }
+func zero() float64 { return 0 }
+
+func BenchmarkDisabledEmit(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(1, EdgeCat, "step", F("queue", 1))
+		}
+	}
+}
+
+func BenchmarkRingEmit(b *testing.B) {
+	tr := New(NewRing(1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(float64(i), EdgeCat, "step", F("queue", 1), I("i", i))
+	}
+}
+
+func ExampleSnapshot() {
+	s := NewSnapshot()
+	tr := New(s)
+	tr.Emit(0.5, ManagerCat, "decide", I("entry", 1))
+	fmt.Println(s.Count(ManagerCat, "decide"))
+	// Output: 1
+}

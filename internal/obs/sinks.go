@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL writes each event as one JSON object per line — the `-trace
+// out.jsonl` format of cmd/adaflow-sim. Writes are buffered; call Flush
+// (or Close) before reading the output. Safe for concurrent Emit.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when NewJSONLFile owns the handle
+	buf []byte
+	err error
+}
+
+// NewJSONL wraps an io.Writer as a JSONL sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// NewJSONLFile creates (truncating) path and returns a sink that owns the
+// file handle: Close flushes and closes it.
+func NewJSONLFile(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJSONL(f)
+	j.c = f
+	return j, nil
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.buf = ev.AppendJSON(j.buf[:0])
+	j.buf = append(j.buf, '\n')
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = j.w.Flush()
+	}
+	return j.err
+}
+
+// Close flushes and closes the underlying file when the sink owns one.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+		j.c = nil
+	}
+	return err
+}
+
+// Ring is a fixed-capacity in-memory sink that keeps the most recent
+// events — the test and debugging sink. Safe for concurrent Emit.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing builds a ring holding the latest n events (n < 1 is clamped
+// to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were emitted over the ring's lifetime
+// (including ones since evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// multi fans one event out to several sinks, in order.
+type multi []Tracer
+
+// Multi combines sinks: every event is delivered to each, in argument
+// order. Nil sinks are skipped.
+func Multi(sinks ...Tracer) Tracer {
+	var m multi
+	for _, s := range sinks {
+		if s != nil {
+			m = append(m, s)
+		}
+	}
+	if len(m) == 1 {
+		return m[0]
+	}
+	return m
+}
+
+// Emit implements Tracer.
+func (m multi) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// filtered forwards only events the predicate keeps.
+type filtered struct {
+	sink Tracer
+	keep func(Event) bool
+}
+
+// Filter wraps a sink so it only receives events keep returns true for —
+// e.g. the manager-decision subset the golden-trace tests pin.
+func Filter(sink Tracer, keep func(Event) bool) Tracer {
+	return filtered{sink: sink, keep: keep}
+}
+
+// Emit implements Tracer.
+func (f filtered) Emit(ev Event) {
+	if f.keep(ev) {
+		f.sink.Emit(ev)
+	}
+}

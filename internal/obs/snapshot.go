@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Snapshot is a metrics sink: it folds the event stream into counters and
+// gauges and renders them in the Prometheus text exposition format
+// (`adaflow-sim -metrics-snapshot`). Three families are exported:
+//
+//	adaflow_events_total{cat,event}             counter — events per kind
+//	adaflow_attr_sum{cat,event,attr}            gauge   — Σ of a numeric attribute
+//	adaflow_attr_last{cat,event,attr}           gauge   — its latest value
+//
+// Aggregation is commutative, so concurrent repeated runs sharing one
+// Snapshot produce the same sums regardless of interleaving (the *_last
+// gauges are only meaningful for single-run traces). Safe for concurrent
+// Emit.
+type Snapshot struct {
+	mu     sync.Mutex
+	counts map[snapKey]uint64
+	attrs  map[attrKey]*attrAgg
+}
+
+type snapKey struct {
+	cat  Category
+	name string
+}
+
+type attrKey struct {
+	cat  Category
+	name string
+	attr string
+}
+
+type attrAgg struct {
+	sum  float64
+	last float64
+}
+
+// NewSnapshot builds an empty metrics snapshot sink.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		counts: make(map[snapKey]uint64),
+		attrs:  make(map[attrKey]*attrAgg),
+	}
+}
+
+// Emit implements Tracer.
+func (s *Snapshot) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[snapKey{ev.Cat, ev.Name}]++
+	for _, a := range ev.Attrs {
+		if !a.IsNumeric() {
+			continue
+		}
+		k := attrKey{ev.Cat, ev.Name, a.Key}
+		agg := s.attrs[k]
+		if agg == nil {
+			agg = &attrAgg{}
+			s.attrs[k] = agg
+		}
+		v := a.Float()
+		agg.sum += v
+		agg.last = v
+	}
+}
+
+// Count returns the event count for one (category, name) series.
+func (s *Snapshot) Count(cat Category, name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[snapKey{cat, name}]
+}
+
+// Sum returns the accumulated value of one numeric attribute series.
+func (s *Snapshot) Sum(cat Category, name, attr string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if agg := s.attrs[attrKey{cat, name, attr}]; agg != nil {
+		return agg.sum
+	}
+	return 0
+}
+
+// WriteTo renders the snapshot in Prometheus text exposition format, with
+// series sorted for deterministic output. It implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	var b strings.Builder
+	b.WriteString("# HELP adaflow_events_total Observability events emitted, by subsystem and kind.\n")
+	b.WriteString("# TYPE adaflow_events_total counter\n")
+	ck := make([]snapKey, 0, len(s.counts))
+	for k := range s.counts {
+		ck = append(ck, k)
+	}
+	sort.Slice(ck, func(i, j int) bool {
+		if ck[i].cat != ck[j].cat {
+			return ck[i].cat < ck[j].cat
+		}
+		return ck[i].name < ck[j].name
+	})
+	for _, k := range ck {
+		fmt.Fprintf(&b, "adaflow_events_total{cat=%q,event=%q} %d\n", k.cat, k.name, s.counts[k])
+	}
+
+	ak := make([]attrKey, 0, len(s.attrs))
+	for k := range s.attrs {
+		ak = append(ak, k)
+	}
+	sort.Slice(ak, func(i, j int) bool {
+		if ak[i].cat != ak[j].cat {
+			return ak[i].cat < ak[j].cat
+		}
+		if ak[i].name != ak[j].name {
+			return ak[i].name < ak[j].name
+		}
+		return ak[i].attr < ak[j].attr
+	})
+	b.WriteString("# HELP adaflow_attr_sum Sum of a numeric event attribute over the trace.\n")
+	b.WriteString("# TYPE adaflow_attr_sum gauge\n")
+	for _, k := range ak {
+		fmt.Fprintf(&b, "adaflow_attr_sum{cat=%q,event=%q,attr=%q} %g\n", k.cat, k.name, k.attr, s.attrs[k].sum)
+	}
+	b.WriteString("# HELP adaflow_attr_last Latest value of a numeric event attribute.\n")
+	b.WriteString("# TYPE adaflow_attr_last gauge\n")
+	for _, k := range ak {
+		fmt.Fprintf(&b, "adaflow_attr_last{cat=%q,event=%q,attr=%q} %g\n", k.cat, k.name, k.attr, s.attrs[k].last)
+	}
+	s.mu.Unlock()
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -7,6 +7,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -22,7 +24,34 @@ type Engine struct {
 	// canceled counts queued events whose fn was cleared by Cancel; they
 	// still occupy the heap until popped but never run.
 	canceled int
+
+	// stats are lifetime counters for the observability layer; trace, when
+	// enabled, additionally emits sampled per-dispatch events and one
+	// summary per Run. Both are passive: they never affect scheduling.
+	stats Stats
+	trace *obs.Trace
 }
+
+// Stats are the engine's lifetime event-loop counters.
+type Stats struct {
+	// Dispatched counts events whose fn actually ran.
+	Dispatched int
+	// Canceled counts events killed by Cancel before running.
+	Canceled int
+	// Compactions counts lazy-deletion heap compaction passes.
+	Compactions int
+	// MaxHeap is the peak heap occupancy (live + canceled entries).
+	MaxHeap int
+}
+
+// Stats returns the engine's event-loop counters so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SetTracer attaches an observability trace to the engine: Run then emits
+// sampled "sim/event" dispatch events (heap occupancy) and one "sim/run"
+// summary per Run call. A nil trace detaches. Tracing is passive — it
+// cannot change event order, timing, or results.
+func (e *Engine) SetTracer(tr *obs.Trace) { e.trace = tr }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -54,6 +83,9 @@ func (e *Engine) schedule(t float64, fn func()) (*event, error) {
 		ev = &event{time: t, seq: e.seq, fn: fn}
 	}
 	heap.Push(&e.queue, ev)
+	if n := len(e.queue); n > e.stats.MaxHeap {
+		e.stats.MaxHeap = n
+	}
 	return ev, nil
 }
 
@@ -94,6 +126,7 @@ func (e *Engine) Cancel(h Handle) bool {
 	}
 	h.ev.fn = nil
 	e.canceled++
+	e.stats.Canceled++
 	// Lazy deletion keeps Cancel O(1), but heavy cancel traffic (retry
 	// timers superseded on every workload change) would otherwise grow the
 	// heap with dead entries and tax every sift. Once the majority of the
@@ -121,6 +154,7 @@ func (e *Engine) compact() {
 	}
 	e.queue = live
 	e.canceled = 0
+	e.stats.Compactions++
 	heap.Init(&e.queue)
 }
 
@@ -128,6 +162,8 @@ func (e *Engine) compact() {
 // would pass until. The clock ends at until (or the last event time if
 // earlier events exhausted the queue).
 func (e *Engine) Run(until float64) {
+	traced := e.trace.Enabled()
+	startDispatched := e.stats.Dispatched
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.time > until {
@@ -144,10 +180,23 @@ func (e *Engine) Run(until float64) {
 			continue
 		}
 		e.now = next.time
+		e.stats.Dispatched++
+		if traced {
+			e.trace.Hot(e.now, obs.SimCat, "event",
+				obs.I("heap", len(e.queue)), obs.I("pending", e.Pending()))
+		}
 		fn()
 	}
 	if e.now < until {
 		e.now = until
+	}
+	if traced {
+		e.trace.Emit(e.now, obs.SimCat, "run",
+			obs.I("dispatched", e.stats.Dispatched-startDispatched),
+			obs.I("canceled", e.stats.Canceled),
+			obs.I("compactions", e.stats.Compactions),
+			obs.I("max_heap", e.stats.MaxHeap),
+			obs.I("free_list", len(e.free)))
 	}
 }
 

@@ -229,3 +229,42 @@ func TestRNGDeterministicStreams(t *testing.T) {
 		t.Fatal("streams not independent")
 	}
 }
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		if err := e.Schedule(float64(i), func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var handles []Handle
+	for i := 0; i < 12; i++ {
+		h, err := e.ScheduleCancelable(float64(i)+0.5, func() { ran++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if !e.Cancel(h) {
+			t.Fatal("cancel failed")
+		}
+	}
+	e.Run(100)
+	st := e.Stats()
+	if ran != 10 || st.Dispatched != 10 {
+		t.Fatalf("dispatched = %d (ran %d), want 10", st.Dispatched, ran)
+	}
+	if st.Canceled != 12 {
+		t.Fatalf("canceled = %d, want 12", st.Canceled)
+	}
+	// Canceling 12 of 22 queued events crosses the >half-dead threshold and
+	// must have compacted at least once.
+	if st.Compactions == 0 {
+		t.Fatal("no compaction recorded")
+	}
+	if st.MaxHeap != 22 {
+		t.Fatalf("max heap = %d, want 22", st.MaxHeap)
+	}
+}

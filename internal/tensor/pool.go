@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Parallel execution machinery shared by the blocked GEMM and im2col/col2im
@@ -23,12 +25,14 @@ var (
 	poolOnce  sync.Once
 	poolTasks chan func()
 
-	maxWorkers    atomic.Int64
+	// maxWorkers lives in the parallel knob registry so
+	// adaflow.SetParallelism / parallel.SetAll can drive it together with
+	// the repo's other fan-out caps.
+	maxWorkers    = parallel.RegisterKnob("tensor.kernels", runtime.NumCPU())
 	parallelGrain atomic.Int64
 )
 
 func init() {
-	maxWorkers.Store(int64(runtime.NumCPU()))
 	parallelGrain.Store(defaultParallelGrain)
 }
 
@@ -36,15 +40,10 @@ func init() {
 // returns the previous cap. n <= 0 resets the cap to runtime.NumCPU().
 // SetMaxWorkers(1) forces every kernel onto the serial path. Safe to call
 // concurrently with running kernels; in-flight calls keep their cap.
-func SetMaxWorkers(n int) int {
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	return int(maxWorkers.Swap(int64(n)))
-}
+func SetMaxWorkers(n int) int { return maxWorkers.Set(n) }
 
 // MaxWorkers returns the current worker cap.
-func MaxWorkers() int { return int(maxWorkers.Load()) }
+func MaxWorkers() int { return maxWorkers.Get() }
 
 // SetParallelGrain sets the minimum number of scalar operations a kernel
 // call must involve per chunk before it fans out, returning the previous
@@ -89,7 +88,7 @@ func parallelFor(n, opsPerUnit int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := int(maxWorkers.Load())
+	w := maxWorkers.Get()
 	grain := int(parallelGrain.Load())
 	chunks := w
 	if total := int64(n) * int64(opsPerUnit); total < int64(chunks)*int64(grain) {

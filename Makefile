@@ -25,11 +25,12 @@ test-race:
 		./internal/sim/... ./internal/experiments/... ./internal/obs/...
 
 # Golden trace suite: the Fig. 6 scenario traces plus the pinned
-# decision-event streams (manager verdicts) for Scenarios 1, 2 and 1+2.
+# decision-event streams (manager verdicts) for Scenarios 1, 2 and 1+2,
+# and the pool supervision streams (failover, overload shed).
 # Regenerate after an intentional semantic change with:
-#   go test ./internal/edge/ -run Golden -update
+#   go test ./internal/edge/ ./internal/multiedge/ -run Golden -update
 trace-golden:
-	$(GO) test -count=1 -run 'Golden' ./internal/edge/...
+	$(GO) test -count=1 -run 'Golden' ./internal/edge/... ./internal/multiedge/...
 
 # Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
 # across the fault layer, edge simulation, manager and pool.

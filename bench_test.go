@@ -598,6 +598,43 @@ func BenchmarkRunEdge(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolRun measures the supervised multi-board pool over the full
+// hybrid scenario. The healthy variant runs with no fault rules and is the
+// supervision overhead guard: scripts/verify.sh compares it against the
+// BENCH_PR3.json baseline via benchjson -check, so heartbeats and health
+// bookkeeping must stay nearly free when no faults fire. The one-dead
+// variant crashes a board mid-run and exercises detection, failover, and
+// capacity redistribution.
+func BenchmarkPoolRun(b *testing.B) {
+	p := experiments.Pairs[0]
+	lib, err := experiments.Lib(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, plan *FaultPlan) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool, err := NewPool(lib, 4, DefaultManagerConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := RunEdge(Scenario12(), pool, SimConfig{
+				Seed: int64(i), FaultPlan: plan, FaultSeed: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, nil) })
+	b.Run("one-dead", func(b *testing.B) {
+		plan, err := ParseFaultPlan("board-crash:p=1,board=0,start=5,end=5.05,repair=60")
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, plan)
+	})
+}
+
 // BenchmarkDESKernel measures raw event throughput of the simulation
 // kernel.
 func BenchmarkDESKernel(b *testing.B) {

@@ -5,17 +5,27 @@
 //
 // Usage:
 //
-//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf]
+//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf|pool]
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
 //	            [-reconfig-ms 145] [-csv]
+//	            [-boards 4] [-standby 1] [-queue-depth 16] [-deadline 0.05]
 //	            [-trace out.jsonl] [-trace-sample 25] [-metrics-snapshot]
 //	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
 //
-// -trace streams every decision event (manager verdicts, switches, faults)
-// plus sampled hot-path events to a JSON Lines file; -metrics-snapshot
-// aggregates the same events and prints Prometheus text exposition format
-// to stdout after the run. Tracing is passive: results are bit-identical
-// with or without it.
+// -controller pool serves through a supervised multi-board pool of -boards
+// FPGAs (plus -standby hot spares); board-level fault kinds in -fault-plan
+// (board-crash, board-hang, frame-corrupt, board-brownout, each accepting
+// board=K and repair=S) exercise failover, standby promotion, and the
+// quorum degraded mode. -queue-depth bounds the admission queue and
+// -deadline (seconds) sheds frames that cannot be served in time; every
+// shed frame carries a cause (queue-full, deadline-exceeded,
+// no-healthy-board, reconfig-stall).
+//
+// -trace streams every decision event (manager verdicts, switches, faults,
+// board health transitions) plus sampled hot-path events to a JSON Lines
+// file; -metrics-snapshot aggregates the same events and prints Prometheus
+// text exposition format to stdout after the run. Tracing is passive:
+// results are bit-identical with or without it.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/multiedge"
 	"repro/internal/obs"
 )
 
@@ -39,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaflow-sim: ")
 	scenario := flag.String("scenario", "2", "workload scenario: 1, 2, or 1+2")
-	controller := flag.String("controller", "adaflow", "adaflow, finn, or reconf")
+	controller := flag.String("controller", "adaflow", "adaflow, finn, reconf, or pool")
 	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
 	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
 	runs := flag.Int("runs", 1, "repetitions to average")
@@ -47,11 +58,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "accuracy threshold")
 	criteria := flag.Float64("criteria", 10, "fixed/flexible criteria multiple")
 	reconfMS := flag.Float64("reconfig-ms", 145, "reconfiguration time for -controller reconf")
+	boards := flag.Int("boards", 4, "serving boards for -controller pool")
+	standby := flag.Int("standby", 0, "hot standby boards for -controller pool")
+	queueDepth := flag.Float64("queue-depth", 0, "admission queue bound in frames (0 = default 16)")
+	deadline := flag.Float64("deadline", 0, "admission deadline in seconds (0 = no deadline shedding)")
 	csv := flag.Bool("csv", false, "print per-step trace CSV (single run)")
 	traceFile := flag.String("trace", "", "write a JSONL event/decision trace to this file")
 	traceSample := flag.Int("trace-sample", 25, "keep every nth hot-path trace event (decision events are never sampled)")
 	metricsSnapshot := flag.Bool("metrics-snapshot", false, "print a Prometheus-style metrics snapshot to stdout after the run")
-	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;sensor-dropout:p=0.1" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift)`)
+	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;board-crash:p=1,board=0,start=5,end=5.2,repair=10" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift, board-crash, board-hang, frame-corrupt, board-brownout)`)
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same plan+seed replays bit-identically)")
 	flag.Parse()
 
@@ -117,6 +132,13 @@ func main() {
 		case "reconf":
 			return edge.NewPruningReconf(lib, *threshold,
 				time.Duration(*reconfMS*float64(time.Millisecond)))
+		case "pool":
+			cfg := manager.DefaultConfig()
+			cfg.AccuracyThreshold = *threshold
+			cfg.CriteriaMultiple = *criteria
+			return multiedge.NewSupervisedPool(lib, multiedge.Config{
+				Boards: *boards, Standby: *standby, Manager: cfg,
+			})
 		default:
 			return nil, fmt.Errorf("unknown controller %q", *controller)
 		}
@@ -163,6 +185,7 @@ func main() {
 		}
 		res, err := edge.Run(scn, ctl, edge.SimConfig{
 			Seed: *seed, RecordTrace: *csv, FaultPlan: plan, FaultSeed: *faultSeed,
+			QueueFrames: *queueDepth, Deadline: *deadline,
 		}, opts...)
 		if err != nil {
 			log.Fatal(err)
@@ -170,6 +193,7 @@ func main() {
 		printStats(scn.Name, *controller, res.RunStats.FrameLossPct, res.RunStats.QoEPct,
 			res.RunStats.AvgPowerW, res.RunStats.PowerEff, res.RunStats.Switches, res.RunStats.Reconfigs)
 		printFaults(plan, res.RunStats.Faults, res.FaultEvents)
+		printPool(res.RunStats)
 		for _, ev := range res.Switches {
 			kind := "fast"
 			if ev.Reconfigured {
@@ -190,6 +214,7 @@ func main() {
 
 	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{
 		FaultPlan: plan, FaultSeed: *faultSeed,
+		QueueFrames: *queueDepth, Deadline: *deadline,
 	}, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -198,7 +223,22 @@ func main() {
 	printStats(scn.Name, *controller, mean.FrameLossPct, mean.QoEPct,
 		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
 	printFaults(plan, mean.Faults, nil)
+	printPool(mean)
 	finishTrace()
+}
+
+// printPool summarizes admission-control shedding (by cause) and pool
+// supervision activity; silent when neither fired.
+func printPool(s metrics.RunStats) {
+	if s.Drops.Total() > 0 {
+		fmt.Printf("drops: %.0f queue-full, %.0f deadline-exceeded, %.0f no-healthy-board, %.0f reconfig-stall\n",
+			s.Drops.QueueFull, s.Drops.DeadlineExceeded, s.Drops.NoHealthyBoard, s.Drops.ReconfigStall)
+	}
+	p := s.Pool
+	if p.BoardsDied+p.BoardsRecovered+p.Failovers+p.StandbyPromotions+p.DegradedEntries > 0 {
+		fmt.Printf("pool: %d boards died, %d recovered, %d failovers, %d promotions, %d degraded entries\n",
+			p.BoardsDied, p.BoardsRecovered, p.Failovers, p.StandbyPromotions, p.DegradedEntries)
+	}
 }
 
 // printFaults summarizes the chaos run: per-kind counters, then the
@@ -209,6 +249,10 @@ func printFaults(plan *fault.Plan, c metrics.FaultStats, events []edge.FaultEven
 	}
 	fmt.Printf("faults: %d reconfig failures (%d degradations), %d stalls, %d dropouts, %d spikes, %d drifts\n",
 		c.ReconfigFailures, c.Degradations, c.ReconfigStalls, c.SensorDropouts, c.SensorSpikes, c.AccuracyDrifts)
+	if c.BoardCrashes+c.BoardHangs+c.FrameCorruptions+c.BoardBrownouts > 0 {
+		fmt.Printf("board faults: %d crashes, %d hangs, %d corruptions, %d brownouts\n",
+			c.BoardCrashes, c.BoardHangs, c.FrameCorruptions, c.BoardBrownouts)
+	}
 	for _, fe := range events {
 		fmt.Printf("fault  t=%6.2fs %-14s %s\n", fe.Time, fe.Kind, fe.Detail)
 	}

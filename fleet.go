@@ -1,0 +1,63 @@
+package adaflow
+
+// Fleet facade: the supervised multi-board pool (internal/multiedge), the
+// fault-plan grammar (internal/fault), and the robustness metrics they
+// feed. A Pool is an edge Controller, so it plugs straight into RunEdge:
+//
+//	pool, _ := adaflow.NewSupervisedPool(lib, adaflow.PoolConfig{
+//		Boards: 4, Standby: 1, Manager: adaflow.DefaultManagerConfig(),
+//	})
+//	plan, _ := adaflow.ParseFaultPlan("board-crash:p=1,board=0,start=5,end=5.05,repair=30")
+//	res, _ := adaflow.RunEdge(adaflow.Scenario12(), pool,
+//		adaflow.SimConfig{Seed: 1, FaultPlan: plan, FaultSeed: 1, Deadline: 0.05})
+//	fmt.Println(res.Pool.Failovers, res.Drops.Total())
+
+import (
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/multiedge"
+)
+
+type (
+	// Pool is a supervised multi-board dispatcher: health state machines,
+	// failover, standby promotion, and quorum degraded mode over a fleet
+	// of per-board Runtime Managers. It implements Controller.
+	Pool = multiedge.Pool
+	// PoolConfig tunes the pool (serving-set size, standbys, heartbeat
+	// period, quorum, degraded-mode relax, per-board manager config).
+	PoolConfig = multiedge.Config
+	// BoardState is a board's health station (healthy, suspect, dead,
+	// recovering).
+	BoardState = multiedge.BoardState
+
+	// FaultPlan schedules deterministic fault injection for a run.
+	FaultPlan = fault.Plan
+	// FaultRule is one scheduled fault of a plan.
+	FaultRule = fault.Rule
+
+	// PoolStats counts fleet supervision actions (RunStats.Pool).
+	PoolStats = metrics.PoolStats
+	// DropStats partitions shed frames by cause (RunStats.Drops).
+	DropStats = metrics.DropStats
+	// DropCause names why a frame was shed.
+	DropCause = metrics.DropCause
+)
+
+// NewSupervisedPool builds a supervised pool over a shared library; the
+// returned Pool is a Controller for RunEdge.
+func NewSupervisedPool(lib *Library, cfg PoolConfig) (*Pool, error) {
+	return multiedge.NewSupervisedPool(lib, cfg)
+}
+
+// NewPool builds a pool of n serving boards with default supervision —
+// the historical constructor; without board-level fault rules it behaves
+// as the plain capacity splitter.
+func NewPool(lib *Library, n int, cfg ManagerConfig) (*Pool, error) {
+	return multiedge.NewPool(lib, n, cfg)
+}
+
+// ParseFaultPlan parses the fault-plan grammar used by adaflow-sim's
+// -fault-plan flag ("kind:p=X,start=Y,end=Z,mag=M[,board=K,repair=S];…").
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	return fault.ParsePlan(spec)
+}

@@ -1,0 +1,68 @@
+package edge
+
+import (
+	"math"
+	"testing"
+)
+
+// overloadScn is a short workload well beyond one board's capacity, so
+// the admission queue saturates and shedding policy becomes visible.
+func overloadScn() Scenario {
+	return Scenario{
+		Name: "admission-overload", Duration: 4, Devices: 60, PerDeviceFPS: 30,
+		Phases: []Phase{{Start: 0, Deviation: 0, Interval: 5}},
+	}
+}
+
+// TestAdmissionDropAttribution: in both simulation modes, every dropped
+// frame carries exactly one cause (Drops.Total() == Dropped) and under a
+// tight deadline some of the shedding is deadline-attributed.
+func TestAdmissionDropAttribution(t *testing.T) {
+	lib := paperLib(t)
+	modes := []struct {
+		name string
+		run  func(cfg SimConfig) (*Result, error)
+	}{
+		{"fluid", func(cfg SimConfig) (*Result, error) { return Run(overloadScn(), adaflow(t, lib), cfg) }},
+		{"event", func(cfg SimConfig) (*Result, error) { return RunEventLevel(overloadScn(), adaflow(t, lib), cfg) }},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			res, err := m.run(SimConfig{Seed: 1, QueueFrames: 16, Deadline: 0.005})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Dropped <= 0 {
+				t.Fatal("overload scenario dropped nothing; test exercised no shedding")
+			}
+			if d := math.Abs(res.Dropped - res.Drops.Total()); d > 1e-6 {
+				t.Errorf("dropped %.3f != attributed %.3f", res.Dropped, res.Drops.Total())
+			}
+			// A 5 ms deadline keeps the backlog below the queue bound, so
+			// all steady-state shedding is deadline-attributed.
+			if res.Drops.DeadlineExceeded <= 0 {
+				t.Errorf("no deadline-exceeded drops under a 5 ms deadline: %+v", res.Drops)
+			}
+		})
+	}
+}
+
+// TestAdmissionDeadlineOff: with no deadline configured nothing is
+// deadline-attributed, and enabling the deadline only reduces the served
+// staleness, never invents frames.
+func TestAdmissionDeadlineOff(t *testing.T) {
+	lib := paperLib(t)
+	res, err := Run(overloadScn(), adaflow(t, lib), SimConfig{Seed: 1, QueueFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops.DeadlineExceeded != 0 {
+		t.Errorf("deadline shedding fired with Deadline=0: %+v", res.Drops)
+	}
+	if res.Drops.QueueFull <= 0 {
+		t.Errorf("no queue-full drops with a bounded queue under overload: %+v", res.Drops)
+	}
+	if d := math.Abs(res.Dropped - res.Drops.Total()); d > 1e-6 {
+		t.Errorf("dropped %.3f != attributed %.3f", res.Dropped, res.Drops.Total())
+	}
+}

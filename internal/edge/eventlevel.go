@@ -81,6 +81,23 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 		if busy || len(queue) == 0 || now < stallUntil || serving.FPS <= 0 {
 			return
 		}
+		if cfg.Deadline > 0 {
+			// Shed frames already past the deadline instead of serving
+			// them stale.
+			for len(queue) > 0 && now-queue[0] > cfg.Deadline {
+				queue = queue[1:]
+				acc.Add(0, 0, 1, 0, 0, 0)
+				acc.Drops.Add(metrics.DropDeadlineExceeded, 1)
+				if traced {
+					tr.Hot(now, obs.EdgeCat, "drop",
+						obs.F("frames", 1),
+						obs.S("cause", metrics.DropDeadlineExceeded.String()))
+				}
+			}
+			if len(queue) == 0 {
+				return
+			}
+		}
 		busy = true
 		arrivedAt := queue[0]
 		queue = queue[1:]
@@ -207,6 +224,34 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 	}
 	scheduleRedraw(0)
 
+	// Board supervision heartbeats (see Run): deterministic seeded ticks.
+	// A topology change may both alter serving and unblock the queue, so
+	// the service loop is kicked after every changed beat.
+	if sup, ok := ctl.(BoardSupervisor); ok {
+		every := sup.HeartbeatInterval()
+		if every <= 0 {
+			every = 0.1
+		}
+		var scheduleBeat func(k int)
+		scheduleBeat = func(k int) {
+			next := float64(k) * every
+			if next >= scn.Duration {
+				return
+			}
+			if err := eng.Schedule(next, func() {
+				meter.hit(modHeartbeat)
+				if sup.Heartbeat(eng.Now(), inj) {
+					react(eng.Now())
+					startService()
+				}
+				scheduleBeat(k + 1)
+			}); err != nil {
+				panic(err)
+			}
+		}
+		scheduleBeat(1)
+	}
+
 	// Frame arrivals: deterministic spacing at the current rate, or
 	// exponential gaps when PoissonArrivals is set.
 	arrivalRNG := o.rng(cfg.Seed, "arrivals/"+scn.Name)
@@ -236,13 +281,16 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 			integrate(now)
 			if float64(len(queue)) >= cfg.QueueFrames {
 				acc.Add(1, 0, 1, 0, 0, 0)
+				cause := metrics.DropQueueFull
+				if serving.FPS <= 0 {
+					cause = metrics.DropNoHealthyBoard
+				} else if now < stallUntil {
+					cause = metrics.DropReconfigStall
+				}
+				acc.Drops.Add(cause, 1)
 				if traced {
-					cause := "queue-full"
-					if now < stallUntil {
-						cause = "stall"
-					}
 					tr.Hot(now, obs.EdgeCat, "drop",
-						obs.F("frames", 1), obs.S("cause", cause))
+						obs.F("frames", 1), obs.S("cause", cause.String()))
 				}
 			} else {
 				acc.Add(1, 0, 0, 0, 0, 0)
@@ -261,6 +309,9 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 	acc.Seconds = scn.Duration
 
 	copyFaultCounts(&acc, inj)
+	if rep, ok := ctl.(PoolStatsReporter); ok {
+		acc.Pool = rep.PoolStats()
+	}
 	res.RunStats = acc.Finalize()
 	if latencyN > 0 {
 		res.RunStats.AvgLatencyMS = latencySum / latencyN * 1e3

@@ -67,6 +67,7 @@ const (
 	modArrival
 	modService
 	modStallWake
+	modHeartbeat
 	numModules
 )
 
@@ -78,6 +79,7 @@ var moduleNames = [numModules]string{
 	modArrival:   "arrival",
 	modService:   "service",
 	modStallWake: "stall-wake",
+	modHeartbeat: "heartbeat",
 }
 
 // moduleMeter counts dispatched events per serving-loop module. It is nil

@@ -83,6 +83,11 @@ type SimConfig struct {
 	Step float64
 	// QueueFrames is the server's frame buffer (default 128).
 	QueueFrames float64
+	// Deadline, when positive, is the admission-control deadline in
+	// seconds: frames that cannot be served within it are shed with cause
+	// deadline-exceeded instead of being served stale. Zero disables
+	// deadline shedding (the historical behaviour).
+	Deadline float64
 	// Seed drives the workload RNG.
 	Seed int64
 	// RecordTrace keeps per-step curves (off for bulk averaging).
@@ -128,6 +133,28 @@ type ThresholdSetter interface {
 type ReconfigAware interface {
 	ReconfigFailed(now float64) (retry time.Duration, degraded bool)
 	ReconfigSucceeded(now float64)
+}
+
+// BoardSupervisor is implemented by controllers that supervise a fleet of
+// boards (the multiedge pool). The run schedules a deterministic heartbeat
+// at HeartbeatInterval seconds; each beat hands the controller the run's
+// fault injector so it can draw board-level outcomes (crash, hang,
+// corruption, brownout) from the seeded streams and advance its health
+// state machines. Heartbeat returns true when the serving topology changed
+// (a board died, recovered, or was promoted), which triggers a fresh
+// React so the run picks up the new aggregate Serving.
+type BoardSupervisor interface {
+	// HeartbeatInterval is the supervision period in seconds (<= 0 means
+	// the 100 ms default).
+	HeartbeatInterval() float64
+	// Heartbeat advances board health at simulation time now.
+	Heartbeat(now float64, inj *fault.Injector) (changed bool)
+}
+
+// PoolStatsReporter is implemented by controllers that track fleet-level
+// supervision counters; the run copies them into RunStats.Pool.
+type PoolStatsReporter interface {
+	PoolStats() metrics.PoolStats
 }
 
 func (c *SimConfig) defaults() {
@@ -295,6 +322,34 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 	}
 	scheduleRedraw(0)
 
+	// Board supervision heartbeats: deterministic seeded ticks that let a
+	// supervising controller draw board faults and advance health state.
+	if sup, ok := ctl.(BoardSupervisor); ok {
+		every := sup.HeartbeatInterval()
+		if every <= 0 {
+			every = 0.1
+		}
+		var scheduleBeat func(k int)
+		scheduleBeat = func(k int) {
+			// Beats land on exact multiples of the interval (no float
+			// accumulation), so narrow fault windows behave predictably.
+			next := float64(k) * every
+			if next >= scn.Duration {
+				return
+			}
+			if err := eng.Schedule(next, func() {
+				meter.hit(modHeartbeat)
+				if sup.Heartbeat(eng.Now(), inj) {
+					react(eng.Now())
+				}
+				scheduleBeat(k + 1)
+			}); err != nil {
+				panic(err)
+			}
+		}
+		scheduleBeat(1)
+	}
+
 	// Accounting steps.
 	steps := int(scn.Duration/cfg.Step + 0.5)
 	for i := 1; i <= steps; i++ {
@@ -327,9 +382,42 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 			}
 			queue -= processed
 			dropped := 0.0
+			var overflow, shed float64
 			if queue > cfg.QueueFrames {
-				dropped = queue - cfg.QueueFrames
+				overflow = queue - cfg.QueueFrames
 				queue = cfg.QueueFrames
+				dropped += overflow
+				cause := metrics.DropQueueFull
+				if serving.FPS <= 0 {
+					cause = metrics.DropNoHealthyBoard
+				} else if stalled > 0 {
+					cause = metrics.DropReconfigStall
+				}
+				acc.Drops.Add(cause, overflow)
+				if traced {
+					tr.Emit(now, obs.EdgeCat, "drop",
+						obs.F("frames", overflow), obs.S("cause", cause.String()))
+				}
+			}
+			if cfg.Deadline > 0 {
+				// Deadline-aware shedding: any backlog deeper than the
+				// frames the server can clear within the deadline would be
+				// served stale, so it is shed now with an explicit cause.
+				lim := serving.FPS * cfg.Deadline
+				if queue > lim {
+					shed = queue - lim
+					queue = lim
+					dropped += shed
+					cause := metrics.DropDeadlineExceeded
+					if serving.FPS <= 0 {
+						cause = metrics.DropNoHealthyBoard
+					}
+					acc.Drops.Add(cause, shed)
+					if traced {
+						tr.Emit(now, obs.EdgeCat, "drop",
+							obs.F("frames", shed), obs.S("cause", cause.String()))
+					}
+				}
 			}
 
 			procFPS := processed / dt
@@ -348,14 +436,6 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 			acc.Add(arrived, processed, dropped, measured, power*dt, dt)
 			acc.AddQueue(queue, dt)
 			if traced {
-				if dropped > 0 {
-					cause := "queue-full"
-					if stalled > 0 {
-						cause = "stall"
-					}
-					tr.Emit(now, obs.EdgeCat, "drop",
-						obs.F("frames", dropped), obs.S("cause", cause))
-				}
 				tr.Hot(now, obs.EdgeCat, "step",
 					obs.F("queue", queue),
 					obs.F("arrived", arrived),
@@ -390,6 +470,9 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 
 	eng.Run(scn.Duration + 1)
 	copyFaultCounts(&acc, inj)
+	if rep, ok := ctl.(PoolStatsReporter); ok {
+		acc.Pool = rep.PoolStats()
+	}
 	res.RunStats = acc.Finalize()
 	if traced {
 		meter.emit(tr, scn.Duration)
@@ -413,6 +496,10 @@ func copyFaultCounts(acc *metrics.Accumulator, inj *fault.Injector) {
 	acc.Faults.SensorDropouts = c.SensorDropouts
 	acc.Faults.SensorSpikes = c.SensorSpikes
 	acc.Faults.AccuracyDrifts = c.AccuracyDrifts
+	acc.Faults.BoardCrashes = c.BoardCrashes
+	acc.Faults.BoardHangs = c.BoardHangs
+	acc.Faults.FrameCorruptions = c.FrameCorruptions
+	acc.Faults.BoardBrownouts = c.BoardBrownouts
 }
 
 // RunRepeated averages n runs with seeds seed, seed+1, … and returns the

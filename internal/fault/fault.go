@@ -1,9 +1,10 @@
 // Package fault implements a deterministic fault-injection layer for the
 // serving path: a seeded, schedulable plan of runtime faults —
 // reconfiguration failures and stalls, workload-sensor dropout and spike
-// noise, accuracy-evaluator drift — injected into the edge-server
+// noise, accuracy-evaluator drift, and board-level failures (crashes,
+// hangs, frame corruption, brownouts) — injected into the edge-server
 // simulation (internal/edge), the Runtime Manager (internal/manager) and
-// the multi-FPGA pool (internal/multiedge).
+// the supervised multi-FPGA pool (internal/multiedge).
 //
 // Every fault is drawn from an independent RNG stream derived from the
 // plan seed (sim.RNG), and the discrete-event engine queries the injector
@@ -34,12 +35,24 @@ type Kind int
 // multiplies an observation by noise; AccuracyDrift perturbs the measured
 // serving accuracy (evaluator noise — the true model accuracy is
 // unchanged).
+//
+// The board-level classes are drawn by a pool supervisor at heartbeat
+// times, per board (Injector.Board). BoardCrash kills a board outright
+// until it is repaired; BoardHang makes a board stop answering heartbeats
+// for a while (it keeps its state and rejoins when the hang clears);
+// FrameCorrupt transiently corrupts a fraction of a board's served frames
+// (wrong results, lowering its effective accuracy); BoardBrownout derates
+// a board's throughput (slow-board mode) for a while.
 const (
 	ReconfigFail Kind = iota
 	ReconfigStall
 	SensorDropout
 	SensorSpike
 	AccuracyDrift
+	BoardCrash
+	BoardHang
+	FrameCorrupt
+	BoardBrownout
 	numKinds
 )
 
@@ -49,7 +62,18 @@ var kindNames = [numKinds]string{
 	SensorDropout: "sensor-dropout",
 	SensorSpike:   "sensor-spike",
 	AccuracyDrift: "accuracy-drift",
+	BoardCrash:    "board-crash",
+	BoardHang:     "board-hang",
+	FrameCorrupt:  "frame-corrupt",
+	BoardBrownout: "board-brownout",
 }
+
+// boardLevel reports whether the kind is a per-board fault (drawn by the
+// pool supervisor, supports the board= and repair= rule parameters).
+func boardLevel(k Kind) bool { return k >= BoardCrash && k < numKinds }
+
+// AnyBoard targets a board-level rule at every board of the pool.
+const AnyBoard = -1
 
 // String names the kind (the spelling ParsePlan accepts).
 func (k Kind) String() string {
@@ -61,7 +85,8 @@ func (k Kind) String() string {
 
 // defaultMag is the per-kind magnitude used when a rule leaves Mag unset:
 // stalls take 3× the nominal time, spikes scale observations by up to
-// ±100 %, drift subtracts 5 accuracy points.
+// ±100 %, drift subtracts 5 accuracy points, corruption garbles 20 % of a
+// board's frames, a brownout halves a board's throughput.
 func defaultMag(k Kind) float64 {
 	switch k {
 	case ReconfigStall:
@@ -70,6 +95,27 @@ func defaultMag(k Kind) float64 {
 		return 1
 	case AccuracyDrift:
 		return -0.05
+	case FrameCorrupt:
+		return 0.2
+	case BoardBrownout:
+		return 0.5
+	}
+	return 0
+}
+
+// defaultRepair is the per-kind fault duration used when a board-level
+// rule leaves Repair unset: a crashed board takes 5 s to repair, a hang
+// lasts 1 s, corruption 0.5 s, a brownout 2 s.
+func defaultRepair(k Kind) float64 {
+	switch k {
+	case BoardCrash:
+		return 5
+	case BoardHang:
+		return 1
+	case FrameCorrupt:
+		return 0.5
+	case BoardBrownout:
+		return 2
 	}
 	return 0
 }
@@ -85,9 +131,21 @@ type Rule struct {
 	Start, End float64
 	// Mag is the kind-specific magnitude: the stall factor (ReconfigStall,
 	// ≥ 1), the relative spike amplitude (SensorSpike: observations scale
-	// by 1 + U(−Mag, +Mag)), or the accuracy delta (AccuracyDrift). Zero
-	// selects the kind's default.
+	// by 1 + U(−Mag, +Mag)), the accuracy delta (AccuracyDrift), the
+	// corrupted-frame fraction in (0,1] (FrameCorrupt), or the throughput
+	// factor in (0,1) (BoardBrownout). Zero selects the kind's default.
 	Mag float64
+	// Board targets a board-level rule at one 0-based board index;
+	// AnyBoard (the ParsePlan default) targets every board. Only valid on
+	// board-level kinds. Note the zero value targets board 0 — rules built
+	// in code for a single board can leave it, rules meant for the whole
+	// pool must set AnyBoard explicitly.
+	Board int
+	// Repair is how long the fault persists once fired, in simulation
+	// seconds: crash repair time, hang duration, corruption window, or
+	// brownout duration. Zero selects the kind's default. Only valid on
+	// board-level kinds.
+	Repair float64
 }
 
 // active reports whether the rule's window covers time t.
@@ -114,6 +172,27 @@ func (r Rule) Validate() error {
 	}
 	if r.Kind == SensorSpike && r.Mag < 0 {
 		return fmt.Errorf("fault: %s amplitude %v negative", r.Kind, r.Mag)
+	}
+	if !boardLevel(r.Kind) {
+		if r.Board != 0 && r.Board != AnyBoard {
+			return fmt.Errorf("fault: %s does not take a board target", r.Kind)
+		}
+		if r.Repair != 0 {
+			return fmt.Errorf("fault: %s does not take a repair time", r.Kind)
+		}
+		return nil
+	}
+	if r.Board < AnyBoard {
+		return fmt.Errorf("fault: %s board index %d invalid", r.Kind, r.Board)
+	}
+	if r.Repair < 0 {
+		return fmt.Errorf("fault: %s repair time %v negative", r.Kind, r.Repair)
+	}
+	if r.Kind == FrameCorrupt && r.Mag != 0 && (r.Mag < 0 || r.Mag > 1) {
+		return fmt.Errorf("fault: %s fraction %v outside (0,1]", r.Kind, r.Mag)
+	}
+	if r.Kind == BoardBrownout && r.Mag != 0 && (r.Mag <= 0 || r.Mag >= 1) {
+		return fmt.Errorf("fault: %s throughput factor %v outside (0,1)", r.Kind, r.Mag)
 	}
 	return nil
 }
@@ -148,6 +227,14 @@ func (p *Plan) String() string {
 		if r.Mag != 0 {
 			s += fmt.Sprintf(",mag=%v", r.Mag)
 		}
+		if boardLevel(r.Kind) {
+			if r.Board != AnyBoard {
+				s += fmt.Sprintf(",board=%d", r.Board)
+			}
+			if r.Repair != 0 {
+				s += fmt.Sprintf(",repair=%v", r.Repair)
+			}
+		}
 		parts = append(parts, s)
 	}
 	return strings.Join(parts, ";")
@@ -157,9 +244,14 @@ func (p *Plan) String() string {
 // "kind:key=value,...", e.g.
 //
 //	reconfig-fail:p=0.7,start=2,end=12;sensor-dropout:p=0.25;sensor-spike:p=0.2,mag=1.5
+//	board-crash:p=1,start=5,end=5.3,board=1,repair=8;board-brownout:p=0.1,mag=0.4
 //
 // Keys: p (probability, required), start, end (window seconds), mag
-// (kind-specific magnitude). An empty spec yields an empty plan.
+// (kind-specific magnitude), and — for board-level kinds only — board
+// (0-based target board; omitted = every board) and repair (fault
+// duration in seconds). An unknown kind or parameter is a hard parse
+// error (with a did-you-mean hint for near-misses); unknown faults never
+// degrade to a silent no-op. An empty spec yields an empty plan.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{}
 	spec = strings.TrimSpace(spec)
@@ -177,6 +269,9 @@ func ParsePlan(spec string) (*Plan, error) {
 			return nil, err
 		}
 		r := Rule{Kind: kind}
+		if boardLevel(kind) {
+			r.Board = AnyBoard
+		}
 		seenP := false
 		if params != "" {
 			for _, kv := range strings.Split(params, ",") {
@@ -184,11 +279,23 @@ func ParsePlan(spec string) (*Plan, error) {
 				if !ok {
 					return nil, fmt.Errorf("fault: rule %q: parameter %q is not key=value", part, kv)
 				}
+				key = strings.TrimSpace(key)
+				if key == "board" {
+					b, err := strconv.Atoi(strings.TrimSpace(val))
+					if err != nil {
+						return nil, fmt.Errorf("fault: rule %q: board: %v", part, err)
+					}
+					if !boardLevel(kind) {
+						return nil, fmt.Errorf("fault: rule %q: board= is only valid for board-level kinds", part)
+					}
+					r.Board = b
+					continue
+				}
 				f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
 				if err != nil {
 					return nil, fmt.Errorf("fault: rule %q: %s: %v", part, key, err)
 				}
-				switch strings.TrimSpace(key) {
+				switch key {
 				case "p":
 					r.Prob, seenP = f, true
 				case "start":
@@ -197,8 +304,13 @@ func ParsePlan(spec string) (*Plan, error) {
 					r.End = f
 				case "mag":
 					r.Mag = f
+				case "repair":
+					if !boardLevel(kind) {
+						return nil, fmt.Errorf("fault: rule %q: repair= is only valid for board-level kinds", part)
+					}
+					r.Repair = f
 				default:
-					return nil, fmt.Errorf("fault: rule %q: unknown parameter %q", part, key)
+					return nil, fmt.Errorf("fault: rule %q: unknown parameter %q (known: p, start, end, mag, board, repair)", part, key)
 				}
 			}
 		}
@@ -221,16 +333,69 @@ func parseKind(name string) (Kind, error) {
 	}
 	known := append([]string(nil), kindNames[:]...)
 	sort.Strings(known)
-	return 0, fmt.Errorf("fault: unknown kind %q (known: %s)", name, strings.Join(known, ", "))
+	hint := ""
+	if best, d := closestKind(name); d <= 1+len(name)/3 {
+		hint = fmt.Sprintf(" (did you mean %q?)", best)
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q%s (known: %s)", name, hint, strings.Join(known, ", "))
 }
 
-// Counts tallies injected faults, by class.
+// closestKind returns the known kind name nearest to name by edit
+// distance, for the did-you-mean hint.
+func closestKind(name string) (string, int) {
+	best, bestD := "", int(^uint(0)>>1)
+	for _, n := range kindNames {
+		if d := editDistance(strings.ToLower(name), n); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best, bestD
+}
+
+// editDistance is the Levenshtein distance between two ASCII strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Counts tallies injected faults, by class. The board-level counters tally
+// fired draws; a fire against an already-dead board still counts (the pool
+// tracks actual state transitions separately in metrics.PoolStats).
 type Counts struct {
 	ReconfigFailures int
 	ReconfigStalls   int
 	SensorDropouts   int
 	SensorSpikes     int
 	AccuracyDrifts   int
+	BoardCrashes     int
+	BoardHangs       int
+	FrameCorruptions int
+	BoardBrownouts   int
 }
 
 // Injector draws scheduled faults from a plan. Each fault kind consumes
@@ -288,6 +453,93 @@ func (in *Injector) fires(kind Kind, now float64) (bool, float64) {
 		}
 	}
 	return false, 0
+}
+
+// firesBoard draws whether a board-level rule of the given kind triggers
+// for one board at time now. Rules targeting a different board are
+// skipped without consuming a draw; the first firing active rule wins and
+// its magnitude and repair time (or the kind defaults) are returned.
+func (in *Injector) firesBoard(kind Kind, now float64, board int) (bool, float64, float64) {
+	for _, r := range in.plan.Rules {
+		if r.Kind != kind || !r.active(now) {
+			continue
+		}
+		if r.Board != AnyBoard && r.Board != board {
+			continue
+		}
+		if in.streams[kind].Float64() < r.Prob {
+			mag := r.Mag
+			if mag == 0 {
+				mag = defaultMag(kind)
+			}
+			rep := r.Repair
+			if rep == 0 {
+				rep = defaultRepair(kind)
+			}
+			return true, mag, rep
+		}
+	}
+	return false, 0, 0
+}
+
+// BoardOutcome is the injected board-level fate drawn at one supervisor
+// heartbeat for one board. Durations are simulation seconds from the draw.
+type BoardOutcome struct {
+	// Crash: the board dies now and needs CrashRepair seconds of repair.
+	Crash       bool
+	CrashRepair float64
+	// Hang: the board stops answering heartbeats for HangFor seconds.
+	Hang    bool
+	HangFor float64
+	// Corrupt: CorruptFrac of the board's served frames yield wrong
+	// results for CorruptFor seconds.
+	Corrupt     bool
+	CorruptFrac float64
+	CorruptFor  float64
+	// Brownout: the board's throughput is derated to BrownoutFactor of
+	// nominal for BrownoutFor seconds.
+	Brownout       bool
+	BrownoutFactor float64
+	BrownoutFor    float64
+}
+
+// Board draws the board-level faults for one board at time now. The pool
+// supervisor calls it once per board per heartbeat in board order, so the
+// draw sequence — and with it the whole chaos run — replays
+// bit-identically from (plan, seed). Plans with no board-level rules
+// consume no randomness here.
+func (in *Injector) Board(now float64, board int) BoardOutcome {
+	var out BoardOutcome
+	if c, _, rep := in.firesBoard(BoardCrash, now, board); c {
+		in.counts.BoardCrashes++
+		out.Crash, out.CrashRepair = true, rep
+		in.injectBoard(now, BoardCrash, 0, board)
+	}
+	if h, _, rep := in.firesBoard(BoardHang, now, board); h {
+		in.counts.BoardHangs++
+		out.Hang, out.HangFor = true, rep
+		in.injectBoard(now, BoardHang, 0, board)
+	}
+	if c, mag, rep := in.firesBoard(FrameCorrupt, now, board); c {
+		in.counts.FrameCorruptions++
+		out.Corrupt, out.CorruptFrac, out.CorruptFor = true, mag, rep
+		in.injectBoard(now, FrameCorrupt, mag, board)
+	}
+	if b, mag, rep := in.firesBoard(BoardBrownout, now, board); b {
+		in.counts.BoardBrownouts++
+		out.Brownout, out.BrownoutFactor, out.BrownoutFor = true, mag, rep
+		in.injectBoard(now, BoardBrownout, mag, board)
+	}
+	return out
+}
+
+// injectBoard emits the per-fire trace event for a board-level fault.
+func (in *Injector) injectBoard(now float64, kind Kind, mag float64, board int) {
+	if !in.trace.Enabled() {
+		return
+	}
+	in.trace.Emit(now, obs.FaultCat, "inject",
+		obs.S("kind", kind.String()), obs.F("mag", mag), obs.I("board", board))
 }
 
 // ReconfigOutcome is the injected fate of one reconfiguration attempt.

@@ -226,3 +226,126 @@ func TestInvalidPlanRejected(t *testing.T) {
 		t.Fatal("invalid probability accepted")
 	}
 }
+
+// TestParsePlanBoardGrammar covers the board-level rule parameters.
+func TestParsePlanBoardGrammar(t *testing.T) {
+	cases := []struct {
+		spec   string
+		board  int
+		repair float64
+	}{
+		{"board-crash:p=1,board=2,start=5,end=5.3,repair=8", 2, 8},
+		{"board-hang:p=0.5,repair=3", AnyBoard, 3},
+		{"frame-corrupt:p=0.2,mag=0.5", AnyBoard, 0},
+		{"board-brownout:p=0.1,mag=0.4,board=0", 0, 0},
+	}
+	for _, tc := range cases {
+		p, err := ParsePlan(tc.spec)
+		if err != nil {
+			t.Errorf("spec %q rejected: %v", tc.spec, err)
+			continue
+		}
+		r := p.Rules[0]
+		if r.Board != tc.board || r.Repair != tc.repair {
+			t.Errorf("spec %q: board=%d repair=%v, want %d/%v", tc.spec, r.Board, r.Repair, tc.board, tc.repair)
+		}
+		// Board rules survive the String() round trip too.
+		p2, err := ParsePlan(p.String())
+		if err != nil || p2.Rules[0] != r {
+			t.Errorf("spec %q round trip: %+v vs %+v (%v)", tc.spec, r, p2.Rules[0], err)
+		}
+	}
+}
+
+// TestParsePlanBoardErrors: board-level parameter misuse is a hard error.
+func TestParsePlanBoardErrors(t *testing.T) {
+	for _, spec := range []string{
+		"reconfig-fail:p=0.5,board=1",  // board= on a non-board kind
+		"reconfig-fail:p=0.5,repair=3", // repair= on a non-board kind
+		"board-crash:p=0.5,board=-2",   // board index below AnyBoard
+		"board-crash:p=0.5,repair=-1",  // negative repair
+		"frame-corrupt:p=0.5,mag=1.5",  // corrupt fraction above 1
+		"board-crash:p=0.5,board=x",    // non-integer board
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+// TestParsePlanUnknownKindHint: unknown kinds are hard errors, and a
+// near-miss earns a did-you-mean hint naming the intended kind.
+func TestParsePlanUnknownKindHint(t *testing.T) {
+	cases := []struct {
+		spec string
+		hint string // expected did-you-mean suggestion, "" = no hint
+	}{
+		{"board-cras:p=1", "board-crash"},
+		{"board_crash:p=1", "board-crash"},
+		{"frame-corupt:p=1", "frame-corrupt"},
+		{"reconfig-fial:p=1", "reconfig-fail"},
+		{"completely-bogus:p=1", ""},
+	}
+	for _, tc := range cases {
+		_, err := ParsePlan(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown kind") {
+			t.Errorf("spec %q: error %q does not name the unknown kind", tc.spec, msg)
+		}
+		if tc.hint != "" {
+			if !strings.Contains(msg, "did you mean "+`"`+tc.hint+`"`) {
+				t.Errorf("spec %q: error %q missing did-you-mean %q", tc.spec, msg, tc.hint)
+			}
+		} else if strings.Contains(msg, "did you mean") {
+			t.Errorf("spec %q: spurious hint in %q", tc.spec, msg)
+		}
+		// All errors list the known kinds so the fix is self-serve.
+		if !strings.Contains(msg, "board-crash") || !strings.Contains(msg, "reconfig-fail") {
+			t.Errorf("spec %q: error %q does not list known kinds", tc.spec, msg)
+		}
+	}
+}
+
+// TestInjectorBoardDeterministic: board draws replay bit-identically and
+// ignore rules targeting other boards without consuming randomness.
+func TestInjectorBoardDeterministic(t *testing.T) {
+	plan, err := ParsePlan("board-crash:p=0.1,board=0;board-hang:p=0.2;frame-corrupt:p=0.3,mag=0.5;board-brownout:p=0.2,mag=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []BoardOutcome {
+		in, err := NewInjector(plan, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outs []BoardOutcome
+		for step := 0; step < 50; step++ {
+			for b := 0; b < 3; b++ {
+				outs = append(outs, in.Board(float64(step)*0.1, b))
+			}
+		}
+		return outs
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	crashed := false
+	for i, o := range a {
+		if o.Crash {
+			crashed = true
+			if i%3 != 0 { // draws are emitted board-major: i%3 is the board
+				t.Fatalf("crash fired for board %d; rule targets board 0", i%3)
+			}
+		}
+	}
+	if !crashed {
+		t.Fatal("crash rule with p=0.1 over 50 steps never fired; seed draws broken")
+	}
+}

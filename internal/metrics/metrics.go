@@ -21,11 +21,93 @@ type Accumulator struct {
 	Switches    int
 	Reconfigs   int
 	Faults      FaultStats
+	Drops       DropStats
+	Pool        PoolStats
 
 	// queue occupancy integral (frames·seconds) and peak, for latency
 	// estimates via Little's law.
 	queueIntegral float64
 	maxQueue      float64
+}
+
+// DropCause classifies why the admission-control layer shed a frame.
+// Every dropped frame carries exactly one cause, so overload behaviour is
+// an auditable policy rather than an accident.
+type DropCause int
+
+// Drop causes. QueueFull: the bounded frame queue overflowed under plain
+// overload. DeadlineExceeded: the frame could not be served within the
+// configured deadline and was shed rather than served stale. NoHealthyBoard:
+// no serving capacity existed at all (every board of the pool dead).
+// ReconfigStall: the server was stalled on an FPGA reconfiguration when
+// the queue overflowed.
+const (
+	DropQueueFull DropCause = iota
+	DropDeadlineExceeded
+	DropNoHealthyBoard
+	DropReconfigStall
+	numDropCauses
+)
+
+var dropCauseNames = [numDropCauses]string{
+	DropQueueFull:        "queue-full",
+	DropDeadlineExceeded: "deadline-exceeded",
+	DropNoHealthyBoard:   "no-healthy-board",
+	DropReconfigStall:    "reconfig-stall",
+}
+
+// String names the cause (the spelling used in trace events).
+func (c DropCause) String() string {
+	if c < 0 || c >= numDropCauses {
+		return fmt.Sprintf("metrics.DropCause(%d)", int(c))
+	}
+	return dropCauseNames[c]
+}
+
+// DropStats partitions a run's dropped frames by cause. Total always
+// equals the run's Dropped counter: every shed frame has exactly one cause.
+type DropStats struct {
+	QueueFull        float64
+	DeadlineExceeded float64
+	NoHealthyBoard   float64
+	ReconfigStall    float64
+}
+
+// Add records frames shed for one cause.
+func (d *DropStats) Add(c DropCause, frames float64) {
+	switch c {
+	case DropDeadlineExceeded:
+		d.DeadlineExceeded += frames
+	case DropNoHealthyBoard:
+		d.NoHealthyBoard += frames
+	case DropReconfigStall:
+		d.ReconfigStall += frames
+	default:
+		d.QueueFull += frames
+	}
+}
+
+// Total sums the shed frames across causes.
+func (d DropStats) Total() float64 {
+	return d.QueueFull + d.DeadlineExceeded + d.NoHealthyBoard + d.ReconfigStall
+}
+
+// PoolStats counts fleet-level robustness actions of a supervised
+// multi-board pool (all zero for single-board runs).
+type PoolStats struct {
+	// BoardsDied: serving boards declared dead (crash, or hang past the
+	// miss threshold); BoardsRecovered: boards that completed repair and
+	// rejoined the pool (as servers or standbys).
+	BoardsDied      int
+	BoardsRecovered int
+	// Failovers: redistributions of the stream triggered by a serving
+	// board dying.
+	Failovers int
+	// StandbyPromotions: hot standbys promoted into the serving set.
+	StandbyPromotions int
+	// DegradedEntries: times the pool fell below quorum and relaxed the
+	// accuracy threshold on the survivors rather than dropping the stream.
+	DegradedEntries int
 }
 
 // FaultStats counts injected faults and the degradation reactions of a
@@ -48,6 +130,12 @@ type FaultStats struct {
 	// Degradations: times a Runtime Manager exhausted its reconfiguration
 	// retry budget and fell back to the Flexible accelerator.
 	Degradations int
+	// BoardCrashes .. BoardBrownouts: board-level injections observed by a
+	// supervised pool (zero for single-board runs).
+	BoardCrashes     int
+	BoardHangs       int
+	FrameCorruptions int
+	BoardBrownouts   int
 }
 
 // AddQueue records the queue occupancy over a dt-long step.
@@ -83,6 +171,11 @@ type RunStats struct {
 	Switches     int
 	Reconfigs    int
 	Faults       FaultStats
+	// Drops partitions Dropped by cause; Drops.Total() == Dropped.
+	Drops DropStats
+	// Pool counts fleet-level supervision actions (zero for single-board
+	// runs).
+	Pool PoolStats
 	// AvgQueueFrames is the time-averaged server queue occupancy;
 	// AvgLatencyMS the implied mean queueing delay of a processed frame
 	// (Little's law: L = λ·W); MaxQueueFrames the peak occupancy.
@@ -101,6 +194,8 @@ func (a *Accumulator) Finalize() RunStats {
 		Switches:  a.Switches,
 		Reconfigs: a.Reconfigs,
 		Faults:    a.Faults,
+		Drops:     a.Drops,
+		Pool:      a.Pool,
 	}
 	if a.Arrived > 0 {
 		s.FrameLossPct = 100 * a.Dropped / a.Arrived
@@ -150,12 +245,17 @@ func Mean(runs []RunStats) (RunStats, error) {
 		m.PowerEff += r.PowerEff / n
 		m.AvgQueueFrames += r.AvgQueueFrames / n
 		m.AvgLatencyMS += r.AvgLatencyMS / n
+		m.Drops.QueueFull += r.Drops.QueueFull / n
+		m.Drops.DeadlineExceeded += r.Drops.DeadlineExceeded / n
+		m.Drops.NoHealthyBoard += r.Drops.NoHealthyBoard / n
+		m.Drops.ReconfigStall += r.Drops.ReconfigStall / n
 		if r.MaxQueueFrames > m.MaxQueueFrames {
 			m.MaxQueueFrames = r.MaxQueueFrames
 		}
 	}
 	var sw, rc float64
-	var ft [6]float64
+	var ft [10]float64
+	var pl [5]float64
 	for _, r := range runs {
 		sw += float64(r.Switches)
 		rc += float64(r.Reconfigs)
@@ -165,6 +265,15 @@ func Mean(runs []RunStats) (RunStats, error) {
 		ft[3] += float64(r.Faults.SensorSpikes)
 		ft[4] += float64(r.Faults.AccuracyDrifts)
 		ft[5] += float64(r.Faults.Degradations)
+		ft[6] += float64(r.Faults.BoardCrashes)
+		ft[7] += float64(r.Faults.BoardHangs)
+		ft[8] += float64(r.Faults.FrameCorruptions)
+		ft[9] += float64(r.Faults.BoardBrownouts)
+		pl[0] += float64(r.Pool.BoardsDied)
+		pl[1] += float64(r.Pool.BoardsRecovered)
+		pl[2] += float64(r.Pool.Failovers)
+		pl[3] += float64(r.Pool.StandbyPromotions)
+		pl[4] += float64(r.Pool.DegradedEntries)
 	}
 	m.Switches = int(math.Round(sw / n))
 	m.Reconfigs = int(math.Round(rc / n))
@@ -175,6 +284,17 @@ func Mean(runs []RunStats) (RunStats, error) {
 		SensorSpikes:     int(math.Round(ft[3] / n)),
 		AccuracyDrifts:   int(math.Round(ft[4] / n)),
 		Degradations:     int(math.Round(ft[5] / n)),
+		BoardCrashes:     int(math.Round(ft[6] / n)),
+		BoardHangs:       int(math.Round(ft[7] / n)),
+		FrameCorruptions: int(math.Round(ft[8] / n)),
+		BoardBrownouts:   int(math.Round(ft[9] / n)),
+	}
+	m.Pool = PoolStats{
+		BoardsDied:        int(math.Round(pl[0] / n)),
+		BoardsRecovered:   int(math.Round(pl[1] / n)),
+		Failovers:         int(math.Round(pl[2] / n)),
+		StandbyPromotions: int(math.Round(pl[3] / n)),
+		DegradedEntries:   int(math.Round(pl[4] / n)),
 	}
 	return m, nil
 }

@@ -47,6 +47,9 @@ const (
 	ManagerCat
 	// FaultCat: fault-injector activity (injections and recoveries).
 	FaultCat
+	// PoolCat: multi-board pool supervision (board health transitions,
+	// failover and standby-promotion decisions, degraded-mode changes).
+	PoolCat
 	numCategories
 )
 
@@ -55,6 +58,7 @@ var categoryNames = [numCategories]string{
 	EdgeCat:    "edge",
 	ManagerCat: "manager",
 	FaultCat:   "fault",
+	PoolCat:    "pool",
 }
 
 // String names the category.

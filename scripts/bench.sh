@@ -13,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCH_OUT=${BENCH_OUT:-BENCH_PR3.json}
-BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkLibraryGenerate|BenchmarkExploreTargetFPS|BenchmarkGemm$|BenchmarkConvForward|BenchmarkDESKernel|BenchmarkRunEdge$'}
+BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkLibraryGenerate|BenchmarkExploreTargetFPS|BenchmarkGemm$|BenchmarkConvForward|BenchmarkDESKernel|BenchmarkRunEdge$|BenchmarkPoolRun'}
 BENCH_TIME=${BENCH_TIME:-1s}
 BENCH_COUNT=${BENCH_COUNT:-1}
 

@@ -23,6 +23,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== fuzz smoke (fault-plan grammar, 10s)"
+go test -run '^$' -fuzz FuzzParsePlan -fuzztime=10s ./internal/fault/
+
 echo "== go test -race (concurrent + serving packages)"
 make test-race
 
@@ -38,18 +41,19 @@ BENCH_OUT="$bench_out" BENCH_TIME=1x BENCH_PATTERN='BenchmarkDESKernel' ./script
 grep -q 'BenchmarkDESKernel' "$bench_out"
 rm -f "$bench_out"
 
-echo "== tracer overhead guard (BenchmarkRunEdge vs BENCH_PR3.json)"
-# Tracing off must stay free on the serving hot path. The committed
-# baseline was measured on one machine and this guard may run on another,
-# so the tolerance is generous (25%); the <2% claim is measured back to
-# back in DESIGN.md. Skips cleanly if the baseline lacks the benchmark.
-if grep -q 'BenchmarkRunEdge' BENCH_PR3.json; then
+echo "== overhead guards (BenchmarkRunEdge + BenchmarkPoolRun vs BENCH_PR3.json)"
+# Tracing off must stay free on the serving hot path, and pool supervision
+# must stay cheap on the healthy path (<2% claims, measured back to back
+# in DESIGN.md). The committed baseline was measured on one machine and
+# this guard may run on another, so the tolerance is generous (25%).
+# Skips cleanly if the baseline lacks the benchmarks.
+if grep -q 'BenchmarkRunEdge\|BenchmarkPoolRun' BENCH_PR3.json; then
 	overhead_out=$(mktemp)
-	go test -run '^$' -bench 'BenchmarkRunEdge$' -benchtime 0.5s . | tee "$overhead_out"
+	go test -run '^$' -bench 'BenchmarkRunEdge$|BenchmarkPoolRun' -benchtime 0.5s . | tee "$overhead_out"
 	go run ./cmd/benchjson -check -baseline BENCH_PR3.json -tol 0.25 "$overhead_out"
 	rm -f "$overhead_out"
 else
-	echo "BENCH_PR3.json has no BenchmarkRunEdge entry; skipping"
+	echo "BENCH_PR3.json has no BenchmarkRunEdge/BenchmarkPoolRun entry; skipping"
 fi
 
 echo "verify: OK"

@@ -20,6 +20,7 @@ race:
 # of the concurrent compute packages.
 test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
+		./internal/quant/... \
 		./internal/edge/... ./internal/manager/... ./internal/multiedge/... \
 		./internal/library/... ./internal/explore/... ./internal/parallel/... \
 		./internal/sim/... ./internal/experiments/... ./internal/obs/...
@@ -40,7 +41,7 @@ test-chaos:
 	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
 
 # Tracked benchmark baseline: key design-time and substrate benchmarks,
-# recorded to BENCH_PR3.json for regression diffing.
+# recorded to BENCH_PR6.json for regression diffing.
 bench:
 	./scripts/bench.sh
 

@@ -330,6 +330,28 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmInt8 measures the integer fast-path kernel on the same
+// 64×576·576×196 shape as BenchmarkGemm, so the two rows of a bench run
+// read directly as the int8-vs-float kernel comparison.
+func BenchmarkGemmInt8(b *testing.B) {
+	a := tensor.NewInt8Matrix(64, 576)
+	for i := range a.Data {
+		a.Data[i] = int8(i%5 - 2)
+	}
+	c := tensor.NewInt8Matrix(576, 196)
+	for i := range c.Data {
+		c.Data[i] = int8(i%11 - 5)
+	}
+	dst := make([]int32, 64*196)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.GemmInt8Into(dst, a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGemmSizes compares the serial fast path against the pooled
 // parallel path on small/medium/large square GEMMs, writing into reused
 // scratch so allocs/op shows the zero-allocation steady state.
@@ -413,6 +435,48 @@ func BenchmarkConvForward(b *testing.B) {
 		if _, err := conv.Forward(x, false); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConvForwardInt8 runs the BenchmarkConvForward layer with the
+// inference path pinned to each kernel, isolating the integer fast path
+// win from whatever the session default is (BenchmarkConvForward itself
+// uses the default, which is the int8 path for this 2-bit layer).
+func BenchmarkConvForwardInt8(b *testing.B) {
+	q, err := quant.NewWeightQuantizer(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv, err := nn.NewConv2D(nn.ConvConfig{
+		ID: "bench-int8",
+		Geom: tensor.ConvGeom{
+			InC: 64, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		},
+		OutC: 64, Bias: true, WQuant: q,
+		InitRNG: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(64, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%9)*0.25 - 1
+	}
+	for _, bc := range []struct {
+		name string
+		int8 bool
+	}{{"int8", true}, {"float", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := nn.SetInt8GEMM(bc.int8)
+			defer nn.SetInt8GEMM(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conv.Forward(x, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -636,19 +700,32 @@ func BenchmarkPoolRun(b *testing.B) {
 }
 
 // BenchmarkDESKernel measures raw event throughput of the simulation
-// kernel.
+// kernel on both queue implementations. The closure is hoisted out of the
+// schedule loop so allocs/op reflects the engine (event storage, queue
+// bookkeeping), not benchmark-side closure captures; with slab-allocated
+// events and the calendar queue the steady state is a few allocs per
+// thousand events instead of one per event.
 func BenchmarkDESKernel(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		e := sim.NewEngine()
-		n := 0
-		for j := 0; j < 1000; j++ {
-			if err := e.Schedule(float64(j), func() { n++ }); err != nil {
-				b.Fatal(err)
+	for _, bc := range []struct {
+		name string
+		kind sim.QueueKind
+	}{{"calendar", sim.CalendarQueue}, {"heap", sim.HeapQueue}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngineWithQueue(bc.kind)
+				n := 0
+				fn := func() { n++ }
+				for j := 0; j < 1000; j++ {
+					if err := e.Schedule(float64(j), fn); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.Run(2000)
+				if n != 1000 {
+					b.Fatal("events lost")
+				}
 			}
-		}
-		e.Run(2000)
-		if n != 1000 {
-			b.Fatal("events lost")
-		}
+		})
 	}
 }

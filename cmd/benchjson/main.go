@@ -48,6 +48,7 @@ func main() {
 	check := flag.Bool("check", false, "compare input against -baseline instead of emitting JSON")
 	baseline := flag.String("baseline", "", "baseline JSON file (required with -check)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression with -check")
+	note := flag.String("note", "", "embed this string as a _note key in the output JSON")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -79,8 +80,8 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		var base map[string]Result
-		if err := json.NewDecoder(f).Decode(&base); err != nil {
+		base, err := decodeBaseline(f)
+		if err != nil {
 			log.Fatalf("bad baseline %s: %v", *baseline, err)
 		}
 		report, failed := Check(results, base, *tol)
@@ -102,9 +103,40 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	var doc any = results
+	if *note != "" {
+		annotated := make(map[string]any, len(results)+1)
+		for name, r := range results {
+			annotated[name] = r
+		}
+		annotated["_note"] = *note
+		doc = annotated
+	}
+	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// decodeBaseline reads a baseline JSON map, skipping annotation keys that
+// start with "_" (e.g. the "_note" string -note embeds) so they don't trip
+// the Result decoder.
+func decodeBaseline(r io.Reader) (map[string]Result, error) {
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	base := make(map[string]Result, len(raw))
+	for name, msg := range raw {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(msg, &res); err != nil {
+			return nil, fmt.Errorf("entry %q: %v", name, err)
+		}
+		base[name] = res
+	}
+	return base, nil
 }
 
 // Result holds one benchmark's metrics: the iteration count plus every

@@ -90,6 +90,26 @@ func TestCheck(t *testing.T) {
 	}
 }
 
+// Baselines may carry "_"-prefixed annotation keys (e.g. the "_note"
+// string -note embeds); the decoder must skip them and still reject
+// malformed benchmark entries.
+func TestDecodeBaselineSkipsAnnotations(t *testing.T) {
+	in := `{
+	  "_note": "1-core container; ns/op noisy",
+	  "BenchmarkA": {"iterations": 5, "metrics": {"ns/op": 100}}
+	}`
+	base, err := decodeBaseline(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 1 || base["BenchmarkA"].Metrics["ns/op"] != 100 {
+		t.Fatalf("decoded %+v", base)
+	}
+	if _, err := decodeBaseline(strings.NewReader(`{"BenchmarkA": "oops"}`)); err == nil {
+		t.Fatal("malformed benchmark entry accepted")
+	}
+}
+
 func TestCheckNoOverlap(t *testing.T) {
 	report, failed := Check(
 		map[string]Result{"BenchmarkX": {Metrics: map[string]float64{"ns/op": 1}}},

@@ -33,6 +33,14 @@ type Dense struct {
 	effWOf      *Param
 	effWVersion uint64
 	quantRuns   int
+
+	// Integer fast-path cache and path counters (see Conv2D).
+	effWQ        *tensor.Int8Matrix
+	effWQScale   float32
+	effWQOf      *Param
+	effWQVersion uint64
+	intForwards  int
+	floatFwds    int
 }
 
 // DenseConfig collects Dense construction options.
@@ -96,10 +104,73 @@ func (d *Dense) EffectiveWeights() (*tensor.Tensor, error) {
 	return q, nil
 }
 
+// int8Weights returns the weight grid codes and tensor-wide scale for the
+// integer fast path, cached until the weight version changes (see
+// Conv2D.int8Weights).
+func (d *Dense) int8Weights() (*tensor.Int8Matrix, float32, error) {
+	if d.effWQ != nil && d.effWQOf == d.Weight && d.effWQVersion == d.Weight.Version() {
+		return d.effWQ, d.effWQScale, nil
+	}
+	version := d.Weight.Version()
+	wq := tensor.NewInt8Matrix(d.Out, d.In)
+	scale, err := d.Quant.QuantizeTensorInt8(wq.Data, d.Weight.Value.Data())
+	if err != nil {
+		return nil, 0, err
+	}
+	d.quantRuns++
+	d.effWQ, d.effWQScale, d.effWQOf, d.effWQVersion = wq, scale, d.Weight, version
+	return wq, scale, nil
+}
+
+// useInt8 reports whether inference forwards take the integer fast path.
+func (d *Dense) useInt8() bool {
+	return d.Quant != nil && d.Quant.Int8Capable() && Int8GEMMEnabled()
+}
+
+// forwardInt8 is the inference fast path: an int8 matrix-vector product
+// accumulated in int32 with one float rescale (see Conv2D.forwardInt8).
+func (d *Dense) forwardInt8(x *tensor.Tensor) (*tensor.Tensor, error) {
+	wq, wScale, err := d.int8Weights()
+	if err != nil {
+		return nil, err
+	}
+	xq := tensor.BorrowInt8(d.In)
+	defer tensor.ReleaseInt8(xq)
+	sx, err := quant.QuantizeSymmetricInt8(xq, x.Data())
+	if err != nil {
+		return nil, err
+	}
+	acc := tensor.BorrowInt32(d.Out)
+	defer tensor.ReleaseInt32(acc)
+	if err := tensor.GemmInt8Into(acc, wq, &tensor.Int8Matrix{Rows: d.In, Cols: 1, Data: xq}); err != nil {
+		return nil, err
+	}
+	s := wScale * sx
+	out := tensor.New(d.Out)
+	od := out.Data()
+	for i, v := range acc[:d.Out] {
+		od[i] = float32(v) * s
+	}
+	if d.Bias != nil {
+		for i := range od {
+			od[i] += d.Bias.Value.Data()[i]
+		}
+	}
+	d.intForwards++
+	d.x, d.qw = nil, nil
+	return out, nil
+}
+
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if x.Len() != d.In {
 		return nil, fmt.Errorf("nn: dense %q input volume %d, want %d", d.ID, x.Len(), d.In)
+	}
+	if !train && d.useInt8() {
+		return d.forwardInt8(x)
+	}
+	if !train {
+		d.floatFwds++
 	}
 	xm, err := x.Reshape(d.In, 1)
 	if err != nil {

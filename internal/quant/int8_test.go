@@ -1,0 +1,235 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The integer fast path's correctness hinges on one identity: the int8
+// codes written by QuantizeTensorInt8 / QuantizeTensorPerChannelInt8,
+// rescaled in float32, must reproduce the fake-quantized float weights of
+// QuantizeTensor / QuantizeTensorPerChannel bit for bit. These tests pin
+// that identity and the rounding rule it rests on.
+
+func randWeights(rng *rand.Rand, n int) []float32 {
+	ws := make([]float32, n)
+	for i := range ws {
+		switch rng.Intn(10) {
+		case 0:
+			ws[i] = 0
+		case 1:
+			ws[i] = float32(rng.NormFloat64()) * 10 // saturates the grid
+		default:
+			ws[i] = float32(rng.NormFloat64()) * 0.3
+		}
+	}
+	return ws
+}
+
+func TestInt8CodesMatchFakeQuantizedFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, bits := range []int{1, 2, 3, 4, 8} {
+		q, err := NewWeightQuantizer(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Int8Capable() {
+			t.Fatalf("bits=%d reported not int8-capable", bits)
+		}
+		ws := randWeights(rng, 257)
+		ref := make([]float32, len(ws))
+		refScale, err := q.QuantizeTensor(ref, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes := make([]int8, len(ws))
+		scale, err := q.QuantizeTensorInt8(codes, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scale != refScale {
+			t.Fatalf("bits=%d: int8 scale %v, float scale %v", bits, scale, refScale)
+		}
+		for i, c := range codes {
+			if lim := int8(q.Levels()); c > lim || c < -lim {
+				t.Fatalf("bits=%d: code %d exceeds ±%d", bits, c, lim)
+			}
+			if got := float32(c) * scale; got != ref[i] {
+				t.Fatalf("bits=%d w=%v: code %d * scale %v = %v, want %v",
+					bits, ws[i], c, scale, got, ref[i])
+			}
+		}
+	}
+}
+
+func TestInt8PerChannelCodesMatchFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	q, err := NewWeightQuantizer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows, rowLen = 7, 33
+	ws := randWeights(rng, rows*rowLen)
+	ref := make([]float32, len(ws))
+	refScales, err := q.QuantizeTensorPerChannel(ref, ws, rowLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]int8, len(ws))
+	scales, err := q.QuantizeTensorPerChannelInt8(codes, ws, rowLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		if scales[r] != refScales[r] {
+			t.Fatalf("row %d: scale %v vs %v", r, scales[r], refScales[r])
+		}
+		for i := r * rowLen; i < (r+1)*rowLen; i++ {
+			if got := float32(codes[i]) * scales[r]; got != ref[i] {
+				t.Fatalf("row %d idx %d: %v vs %v", r, i, got, ref[i])
+			}
+		}
+	}
+}
+
+func TestInt8RejectsWideGrids(t *testing.T) {
+	q, err := NewWeightQuantizer(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Int8Capable() {
+		t.Fatal("9-bit grid reported int8-capable")
+	}
+	if _, err := q.QuantizeTensorInt8(make([]int8, 1), make([]float32, 1)); err == nil {
+		t.Fatal("QuantizeTensorInt8 accepted a 9-bit grid")
+	}
+	if _, err := q.QuantizeTensorPerChannelInt8(make([]int8, 1), make([]float32, 1), 1); err == nil {
+		t.Fatal("QuantizeTensorPerChannelInt8 accepted a 9-bit grid")
+	}
+}
+
+func TestQuantizeSymmetricInt8(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, -0.25, 127, -127}
+	dst := make([]int8, len(src))
+	scale, err := QuantizeSymmetricInt8(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("scale = %v, want 1 (maxAbs 127 / 127)", scale)
+	}
+	want := []int8{0, 1, -1, 1, 0, 127, -127} // 0.5 rounds away, -0.25 to 0
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("code[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+
+	// All-zero input: scale 0 and zero codes, so code*scale stays exact.
+	clear(src)
+	for i := range dst {
+		dst[i] = 99
+	}
+	scale, err = QuantizeSymmetricInt8(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 0 {
+		t.Fatalf("zero-input scale = %v", scale)
+	}
+	for i, c := range dst {
+		if c != 0 {
+			t.Fatalf("zero-input code[%d] = %d", i, c)
+		}
+	}
+
+	if _, err := QuantizeSymmetricInt8(make([]int8, 2), make([]float32, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestQuantizeSymmetricInt8Bound(t *testing.T) {
+	// |x - code*scale| ≤ scale/2 for every in-range input: the bound the
+	// nn acceptance tests build their int-vs-float tolerance from.
+	rng := rand.New(rand.NewSource(63))
+	src := make([]float32, 512)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	dst := make([]int8, len(src))
+	scale, err := QuantizeSymmetricInt8(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range src {
+		if d := math.Abs(float64(v - float32(dst[i])*scale)); d > float64(scale)/2*(1+1e-6) {
+			t.Fatalf("input %v: code %d, error %v > scale/2 = %v", v, dst[i], d, scale/2)
+		}
+	}
+}
+
+// FuzzRoundHalfAway pins the rounding rule shared by the float and integer
+// quantization paths: halves round away from zero, results are exact
+// integers, and the int8 clamp boundaries stay consistent between
+// Quantize/QuantizeTensor and the code-producing int8 variants.
+func FuzzRoundHalfAway(f *testing.F) {
+	f.Add(float32(0))
+	f.Add(float32(0.5))
+	f.Add(float32(-0.5))
+	f.Add(float32(2.5))
+	f.Add(float32(-2.5))
+	f.Add(float32(126.5))
+	f.Add(float32(-126.5))
+	f.Add(float32(127.49))
+	f.Add(float32(1e30))
+	f.Add(float32(-1e30))
+	f.Fuzz(func(t *testing.T, v float32) {
+		if math.IsNaN(float64(v)) {
+			t.Skip()
+		}
+		r := RoundHalfAway(v)
+		if math.IsInf(float64(r), 0) {
+			// |v| beyond float32 integer range: Round is identity there.
+			if !math.IsInf(float64(v), 0) {
+				t.Fatalf("finite %v rounded to %v", v, r)
+			}
+			return
+		}
+		if r != float32(math.Trunc(float64(r))) {
+			t.Fatalf("RoundHalfAway(%v) = %v is not integral", v, r)
+		}
+		if d := math.Abs(float64(v) - float64(r)); d > 0.5 {
+			t.Fatalf("RoundHalfAway(%v) = %v is %v away", v, r, d)
+		}
+		// Half-away: exactly-representable halves round to the larger
+		// magnitude.
+		if math.Abs(float64(v)-math.Trunc(float64(v))) == 0.5 {
+			if want := math.Trunc(float64(v)) + math.Copysign(1, float64(v)); float64(r) != want {
+				t.Fatalf("RoundHalfAway(%v) = %v, want %v (half away from zero)", v, r, want)
+			}
+		}
+
+		// Clamp-boundary consistency: an 8-bit grid quantizing the single
+		// value v must satisfy code*scale == fake-quantized float exactly,
+		// including at and beyond the ±127 clamp.
+		q := &WeightQuantizer{Bits: 8, Scale: 1}
+		src := []float32{v}
+		ref := []float32{0}
+		refScale, err := q.QuantizeTensor(ref, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes := []int8{0}
+		scale, err := q.QuantizeTensorInt8(codes, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scale != refScale {
+			t.Fatalf("scales diverge: %v vs %v", scale, refScale)
+		}
+		if got := float32(codes[0]) * scale; got != ref[0] {
+			t.Fatalf("v=%v: code %d * %v = %v, float path %v", v, codes[0], scale, got, ref[0])
+		}
+	})
+}

@@ -46,6 +46,15 @@ func wLevels(bits int) int {
 // Levels returns the number of positive levels in the grid.
 func (q *WeightQuantizer) Levels() int { return wLevels(q.Bits) }
 
+// RoundHalfAway rounds to the nearest integer with halves away from zero
+// (2.5 → 3, -2.5 → -3). This is the single rounding rule of every grid in
+// this package — weight grids, activation levels and the int8 code path
+// all round identically, so the integer kernels in internal/tensor
+// reproduce the fake-quantized float values bit for bit.
+func RoundHalfAway(v float32) float32 {
+	return float32(math.Round(float64(v)))
+}
+
 // Quantize returns the nearest grid value to w. For 1-bit, the result is
 // sign(w)·scale (zero maps to +scale, matching Brevitas binary weights).
 func (q *WeightQuantizer) Quantize(w float32) float32 {
@@ -56,8 +65,7 @@ func (q *WeightQuantizer) Quantize(w float32) float32 {
 		return q.Scale
 	}
 	levels := float32(q.Levels())
-	v := w / q.Scale
-	r := float32(math.Round(float64(v)))
+	r := RoundHalfAway(w / q.Scale)
 	if r > levels {
 		r = levels
 	}
@@ -119,23 +127,31 @@ func (q *WeightQuantizer) TensorScale(ws []float32) float32 {
 	}
 }
 
-// quantizeWith rounds w onto the grid with the given step.
+// quantizeWith rounds w onto the grid with the given step. It is exactly
+// codeWith(w, scale) * scale; the two must stay in lockstep so the int8
+// kernels agree with the fake-quantized floats.
 func (q *WeightQuantizer) quantizeWith(w, scale float32) float32 {
+	return float32(q.codeWith(w, scale)) * scale
+}
+
+// codeWith returns the signed integer grid index of w on a grid with the
+// given step: clamp(round(w/scale), ±levels), or ±1 for binary weights.
+func (q *WeightQuantizer) codeWith(w, scale float32) int32 {
 	if q.Bits == 1 {
 		if w < 0 {
-			return -scale
+			return -1
 		}
-		return scale
+		return 1
 	}
 	levels := float32(q.Levels())
-	r := float32(math.Round(float64(w / scale)))
+	r := RoundHalfAway(w / scale)
 	if r > levels {
 		r = levels
 	}
 	if r < -levels {
 		r = -levels
 	}
-	return r * scale
+	return int32(r)
 }
 
 // QuantizeTensor writes the adaptively-scaled quantization of src into dst
@@ -175,6 +191,94 @@ func (q *WeightQuantizer) QuantizeTensorPerChannel(dst, src []float32, rowLen in
 		}
 	}
 	return scales, nil
+}
+
+// Int8Capable reports whether this quantizer's grid fits signed int8
+// codes, i.e. whether the integer GEMM fast path can carry its weights.
+// Every grid up to 8 bits has at most ±127 levels.
+func (q *WeightQuantizer) Int8Capable() bool { return q.Bits <= 8 }
+
+// QuantizeTensorInt8 writes the adaptively-scaled int8 grid codes of src
+// into dst and returns the scale, such that float32(dst[i])*scale is
+// bit-identical to what QuantizeTensor writes. This is the weight view the
+// int8×int8→int32 GEMM kernels in internal/tensor consume. It errors for
+// grids wider than 8 bits (codes would not fit int8).
+func (q *WeightQuantizer) QuantizeTensorInt8(dst []int8, src []float32) (float32, error) {
+	if !q.Int8Capable() {
+		return 0, fmt.Errorf("quant: %d-bit grid does not fit int8 codes", q.Bits)
+	}
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("quant: QuantizeTensorInt8 length mismatch %d vs %d", len(dst), len(src))
+	}
+	scale := q.TensorScale(src)
+	for i, w := range src {
+		dst[i] = int8(q.codeWith(w, scale))
+	}
+	return scale, nil
+}
+
+// QuantizeTensorPerChannelInt8 is QuantizeTensorInt8 with one adaptive
+// scale per row of rowLen values (FINN's per-channel weight scaling),
+// mirroring QuantizeTensorPerChannel code for code.
+func (q *WeightQuantizer) QuantizeTensorPerChannelInt8(dst []int8, src []float32, rowLen int) ([]float32, error) {
+	if !q.Int8Capable() {
+		return nil, fmt.Errorf("quant: %d-bit grid does not fit int8 codes", q.Bits)
+	}
+	if len(dst) != len(src) {
+		return nil, fmt.Errorf("quant: QuantizeTensorPerChannelInt8 length mismatch %d vs %d", len(dst), len(src))
+	}
+	if rowLen <= 0 || len(src)%rowLen != 0 {
+		return nil, fmt.Errorf("quant: row length %d does not divide %d values", rowLen, len(src))
+	}
+	rows := len(src) / rowLen
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := src[r*rowLen : (r+1)*rowLen]
+		scale := q.TensorScale(row)
+		scales[r] = scale
+		for i, w := range row {
+			dst[r*rowLen+i] = int8(q.codeWith(w, scale))
+		}
+	}
+	return scales, nil
+}
+
+// QuantizeSymmetricInt8 quantizes src onto a symmetric int8 grid whose
+// scale is chosen so the largest magnitude maps to ±127 (dynamic
+// activation quantization), writes the codes into dst and returns the
+// scale. An all-zero input returns scale 0 with all-zero codes, so
+// code*scale is still exact. len(dst) must equal len(src).
+func QuantizeSymmetricInt8(dst []int8, src []float32) (float32, error) {
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("quant: QuantizeSymmetricInt8 length mismatch %d vs %d", len(dst), len(src))
+	}
+	var maxAbs float32
+	for _, v := range src {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		clear(dst)
+		return 0, nil
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, v := range src {
+		r := RoundHalfAway(v * inv)
+		if r > 127 {
+			r = 127
+		}
+		if r < -127 {
+			r = -127
+		}
+		dst[i] = int8(r)
+	}
+	return scale, nil
 }
 
 // STEGrad implements the straight-through estimator: the gradient passes
@@ -224,7 +328,7 @@ func (q *ActQuantizer) Quantize(x float32) float32 {
 		return q.Max
 	}
 	step := q.Step()
-	return step * float32(math.Round(float64(x/step)))
+	return step * RoundHalfAway(x/step)
 }
 
 // Code returns the integer level index (0..Levels-1) for x. This is the
@@ -236,7 +340,7 @@ func (q *ActQuantizer) Code(x float32) int {
 	if x >= q.Max {
 		return q.Levels() - 1
 	}
-	return int(math.Round(float64(x / q.Step())))
+	return int(RoundHalfAway(x / q.Step()))
 }
 
 // STEGrad passes the gradient through inside (0, Max) and clips outside,

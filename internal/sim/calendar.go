@@ -1,0 +1,176 @@
+package sim
+
+import "math"
+
+// calendarQueue is a bucketed calendar queue (Brown, CACM 1988): events
+// hash by time into "days" (buckets) of a fixed width, the whole array
+// spanning one "year" (nb·width). Each bucket is a sorted singly-linked
+// list threaded through event.next, so push is a short list walk, peek is
+// a bucket scan from the current day, and pop is O(1) after peek — all
+// allocation-free, which is what lets the engine's slab-allocated events
+// stay off the garbage collector entirely. The queue resizes (doubling or
+// halving nb and re-deriving width from the live event span) whenever
+// occupancy drifts outside ~0.5–2 events per bucket, keeping operations
+// O(1) amortized under the edge scenario's steady event flow.
+type calendarQueue struct {
+	buckets []*event
+	nb      int     // len(buckets)
+	width   float64 // seconds per bucket
+	count   int     // stored events, canceled included
+	// scan is the absolute day index (time/width, not wrapped) where the
+	// next peek starts. Invariant: scan ≤ the day of every stored event —
+	// peek advances it past empty days, push repairs it back down when an
+	// earlier event arrives.
+	scan int64
+	// last is the timestamp of the most recently popped event, the lower
+	// bound used to reposition scan after a resize (Schedule rejects times
+	// in the past, so no stored event can precede it).
+	last float64
+}
+
+const (
+	minBuckets = 8
+	// maxDay bounds time/width so day arithmetic stays far from int64
+	// overflow even for degenerate width estimates.
+	maxDay = 1 << 50
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{buckets: make([]*event, minBuckets), nb: minBuckets, width: 1}
+}
+
+// day maps a timestamp to its absolute day index.
+func (q *calendarQueue) day(t float64) int64 { return int64(t / q.width) }
+
+func (q *calendarQueue) push(ev *event) {
+	q.insert(ev)
+	if q.count > 2*q.nb {
+		q.resize(2 * q.nb)
+	}
+}
+
+// insert files ev into its bucket's sorted list without triggering a
+// resize (resize itself re-inserts through here).
+func (q *calendarQueue) insert(ev *event) {
+	d := q.day(ev.time)
+	p := &q.buckets[int(d%int64(q.nb))]
+	for *p != nil && eventLess(*p, ev) {
+		p = &(*p).next
+	}
+	ev.next = *p
+	*p = ev
+	if d < q.scan {
+		q.scan = d
+	}
+	q.count++
+}
+
+func (q *calendarQueue) peek() *event {
+	if q.count == 0 {
+		return nil
+	}
+	d := q.scan
+	for i := 0; i < q.nb; i++ {
+		if ev := q.buckets[int(d%int64(q.nb))]; ev != nil && q.day(ev.time) == d {
+			q.scan = d
+			return ev
+		}
+		d++
+	}
+	// A full cycle of days found nothing due this year: the queue is
+	// sparse relative to width. Fall back to a direct search of the bucket
+	// heads (each list is sorted, so heads suffice) and jump scan to the
+	// winner's day rather than walking empty days one by one.
+	var best *event
+	for _, ev := range q.buckets {
+		if ev != nil && (best == nil || eventLess(ev, best)) {
+			best = ev
+		}
+	}
+	q.scan = q.day(best.time)
+	return best
+}
+
+func (q *calendarQueue) pop() *event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	// peek left scan on ev's day, so ev is the head of that day's bucket.
+	idx := int(q.scan % int64(q.nb))
+	q.buckets[idx] = ev.next
+	ev.next = nil
+	q.count--
+	q.last = ev.time
+	if q.count < q.nb/4 && q.nb > minBuckets {
+		q.resize(q.nb / 2)
+	}
+	return ev
+}
+
+func (q *calendarQueue) len() int { return q.count }
+
+func (q *calendarQueue) compact(recycle func(*event)) {
+	for i := range q.buckets {
+		p := &q.buckets[i]
+		for *p != nil {
+			if ev := *p; ev.fn == nil {
+				*p = ev.next
+				ev.next = nil
+				q.count--
+				recycle(ev)
+			} else {
+				p = &ev.next
+			}
+		}
+	}
+}
+
+// resize rebuilds the queue with newNb buckets and a width sized so the
+// live events spread ~3 per occupied day across the new year, following
+// Brown's rule of thumb. O(count); triggered only when occupancy has
+// doubled or quartered, so amortized O(1) per operation.
+func (q *calendarQueue) resize(newNb int) {
+	var all *event
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, ev := range q.buckets {
+		if ev == nil {
+			continue
+		}
+		q.buckets[i] = nil
+		for ev != nil {
+			next := ev.next
+			ev.next = all
+			all = ev
+			lo = min(lo, ev.time)
+			hi = max(hi, ev.time)
+			ev = next
+		}
+	}
+	w := 1.0
+	if q.count > 0 {
+		w = 3 * (hi - lo) / float64(q.count)
+	}
+	if !(w > 0) {
+		w = 1 // empty, single-instant, or non-finite span
+	}
+	if hi > 0 && hi/w > maxDay {
+		w = hi / maxDay
+	}
+	q.width = w
+	q.buckets = make([]*event, newNb)
+	q.nb = newNb
+	q.scan = q.day(q.last)
+	if q.count > 0 {
+		if s := q.day(lo); s < q.scan {
+			q.scan = s
+		}
+	}
+	q.count = 0
+	for all != nil {
+		next := all.next
+		all.next = nil
+		q.insert(all)
+		all = next
+	}
+}

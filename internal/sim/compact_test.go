@@ -29,12 +29,12 @@ func TestCancelCompactsHeap(t *testing.T) {
 	if got := e.Pending(); got != wantLive {
 		t.Fatalf("Pending = %d, want %d", got, wantLive)
 	}
-	if len(e.queue) == n {
-		t.Fatalf("heap never compacted: len still %d", len(e.queue))
+	if e.q.len() == n {
+		t.Fatalf("queue never compacted: len still %d", e.q.len())
 	}
-	if e.canceled > len(e.queue)/2 {
+	if e.canceled > e.q.len()/2 {
 		t.Fatalf("compaction invariant violated: %d canceled of %d queued",
-			e.canceled, len(e.queue))
+			e.canceled, e.q.len())
 	}
 	e.Run(float64(n))
 	if len(fired) != wantLive {

@@ -1,0 +1,86 @@
+package sim
+
+import "container/heap"
+
+// eventQueue is the engine's pending-event priority queue. Ordering is by
+// (time, seq): nondecreasing time, FIFO within a time. Two implementations
+// exist — the bucketed calendar queue (calendar.go), the default, and the
+// original container/heap binary heap below, kept for differential tests
+// and benchmarks. Both hold canceled events (fn == nil) until popped or
+// compacted; the Engine owns that lazy-deletion accounting.
+type eventQueue interface {
+	// push inserts an event. The queue owns ev.next until the event is
+	// popped or recycled.
+	push(ev *event)
+	// peek returns the minimum event without removing it, or nil when
+	// empty. peek may reposition internal cursors but never reorders.
+	peek() *event
+	// pop removes and returns the minimum event, or nil when empty.
+	pop() *event
+	// len returns the number of stored events, canceled included.
+	len() int
+	// compact removes every canceled event in one pass, handing each to
+	// recycle. Relative order of live events is unaffected.
+	compact(recycle func(*event))
+}
+
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// heapQueue adapts the original binary-heap implementation to eventQueue.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+func (q *heapQueue) compact(recycle func(*event)) {
+	live := q.h[:0]
+	for _, ev := range q.h {
+		if ev.fn == nil {
+			recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = live
+	heap.Init(&q.h)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

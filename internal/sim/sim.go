@@ -4,25 +4,37 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/obs"
 )
 
+// QueueKind selects the Engine's pending-event queue implementation.
+type QueueKind int
+
+const (
+	// CalendarQueue is the default: a bucketed calendar queue with O(1)
+	// amortized operations and allocation-free steady state (calendar.go).
+	CalendarQueue QueueKind = iota
+	// HeapQueue is the original container/heap binary heap, kept for
+	// differential tests and benchmarks against the calendar queue.
+	HeapQueue
+)
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now   float64
-	seq   int64
-	queue eventHeap
+	now float64
+	seq int64
+	q   eventQueue
 	// free recycles popped events so steady-state simulation (the edge
 	// scenario replays schedule millions of events per run) does not
-	// allocate per Schedule call.
+	// allocate per Schedule call. Refills come from eventSlab-sized batch
+	// allocations, amortizing even the cold-start event allocations.
 	free []*event
 	// canceled counts queued events whose fn was cleared by Cancel; they
-	// still occupy the heap until popped but never run.
+	// still occupy the queue until popped but never run.
 	canceled int
 
 	// stats are lifetime counters for the observability layer; trace, when
@@ -38,9 +50,10 @@ type Stats struct {
 	Dispatched int
 	// Canceled counts events killed by Cancel before running.
 	Canceled int
-	// Compactions counts lazy-deletion heap compaction passes.
+	// Compactions counts lazy-deletion queue compaction passes.
 	Compactions int
-	// MaxHeap is the peak heap occupancy (live + canceled entries).
+	// MaxHeap is the peak queue occupancy (live + canceled entries). The
+	// name predates the calendar queue; the semantics are unchanged.
 	MaxHeap int
 }
 
@@ -48,13 +61,26 @@ type Stats struct {
 func (e *Engine) Stats() Stats { return e.stats }
 
 // SetTracer attaches an observability trace to the engine: Run then emits
-// sampled "sim/event" dispatch events (heap occupancy) and one "sim/run"
+// sampled "sim/event" dispatch events (queue occupancy) and one "sim/run"
 // summary per Run call. A nil trace detaches. Tracing is passive — it
 // cannot change event order, timing, or results.
 func (e *Engine) SetTracer(tr *obs.Trace) { e.trace = tr }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at zero, backed by the
+// default calendar queue.
+func NewEngine() *Engine { return NewEngineWithQueue(CalendarQueue) }
+
+// NewEngineWithQueue returns an engine backed by the given queue
+// implementation. Both kinds dispatch identical event sequences; they
+// differ only in cost.
+func NewEngineWithQueue(kind QueueKind) *Engine {
+	switch kind {
+	case HeapQueue:
+		return &Engine{q: &heapQueue{}}
+	default:
+		return &Engine{q: newCalendarQueue()}
+	}
+}
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -66,6 +92,9 @@ func (e *Engine) Schedule(t float64, fn func()) error {
 	return err
 }
 
+// eventSlab is the batch size for event storage allocation.
+const eventSlab = 64
+
 func (e *Engine) schedule(t float64, fn func()) (*event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sim: nil event function")
@@ -73,17 +102,19 @@ func (e *Engine) schedule(t float64, fn func()) (*event, error) {
 	if t < e.now {
 		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
 	}
-	e.seq++
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		*ev = event{time: t, seq: e.seq, fn: fn}
-	} else {
-		ev = &event{time: t, seq: e.seq, fn: fn}
+	if len(e.free) == 0 {
+		slab := make([]event, eventSlab)
+		for i := range slab {
+			e.free = append(e.free, &slab[i])
+		}
 	}
-	heap.Push(&e.queue, ev)
-	if n := len(e.queue); n > e.stats.MaxHeap {
+	e.seq++
+	n := len(e.free)
+	ev := e.free[n-1]
+	e.free = e.free[:n-1]
+	*ev = event{time: t, seq: e.seq, fn: fn}
+	e.q.push(ev)
+	if n := e.q.len(); n > e.stats.MaxHeap {
 		e.stats.MaxHeap = n
 	}
 	return ev, nil
@@ -129,33 +160,21 @@ func (e *Engine) Cancel(h Handle) bool {
 	e.stats.Canceled++
 	// Lazy deletion keeps Cancel O(1), but heavy cancel traffic (retry
 	// timers superseded on every workload change) would otherwise grow the
-	// heap with dead entries and tax every sift. Once the majority of the
-	// heap is dead, compact it in one O(n) pass.
-	if e.canceled > len(e.queue)/2 {
+	// queue with dead entries and tax every operation. Once the majority
+	// of the queue is dead, compact it in one O(n) pass.
+	if e.canceled > e.q.len()/2 {
 		e.compact()
 	}
 	return true
 }
 
-// compact removes canceled events from the heap, recycles their storage,
-// and re-establishes the heap invariant. Relative order of live events is
-// unaffected: ordering is by (time, seq), which compaction doesn't touch.
+// compact removes canceled events from the queue and recycles their
+// storage. Relative order of live events is unaffected: ordering is by
+// (time, seq), which compaction doesn't touch.
 func (e *Engine) compact() {
-	live := e.queue[:0]
-	for _, ev := range e.queue {
-		if ev.fn == nil {
-			e.free = append(e.free, ev)
-		} else {
-			live = append(live, ev)
-		}
-	}
-	for i := len(live); i < len(e.queue); i++ {
-		e.queue[i] = nil
-	}
-	e.queue = live
+	e.q.compact(func(ev *event) { e.free = append(e.free, ev) })
 	e.canceled = 0
 	e.stats.Compactions++
-	heap.Init(&e.queue)
 }
 
 // Run executes events in time order until the queue empties or the clock
@@ -164,12 +183,12 @@ func (e *Engine) compact() {
 func (e *Engine) Run(until float64) {
 	traced := e.trace.Enabled()
 	startDispatched := e.stats.Dispatched
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.time > until {
+	for {
+		next := e.q.peek()
+		if next == nil || next.time > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.q.pop()
 		fn := next.fn
 		next.fn = nil // drop the closure before recycling
 		e.free = append(e.free, next)
@@ -183,7 +202,7 @@ func (e *Engine) Run(until float64) {
 		e.stats.Dispatched++
 		if traced {
 			e.trace.Hot(e.now, obs.SimCat, "event",
-				obs.I("heap", len(e.queue)), obs.I("pending", e.Pending()))
+				obs.I("heap", e.q.len()), obs.I("pending", e.Pending()))
 		}
 		fn()
 	}
@@ -202,32 +221,15 @@ func (e *Engine) Run(until float64) {
 
 // Pending returns the number of queued events that will still run
 // (canceled events awaiting recycling are not counted).
-func (e *Engine) Pending() int { return len(e.queue) - e.canceled }
+func (e *Engine) Pending() int { return e.q.len() - e.canceled }
 
 type event struct {
 	time float64
 	seq  int64
 	fn   func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	// next threads the calendar queue's bucket lists; nil while owned by
+	// the heap queue or the free list.
+	next *event
 }
 
 // RNG returns a deterministic random stream derived from a base seed and a

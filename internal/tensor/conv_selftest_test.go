@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Randomized brute-force self-test of the fused int8 convolution (and the
+// int8 GEMM beneath it), in the spirit of mumax3's conv self-tests: draw
+// random geometries, run the fast kernels, and demand exact agreement with
+// a transparent serial reference. Integer accumulation is exact, so the
+// comparison is == on every element — no tolerance — and repeating the run
+// under different worker caps must be bit-identical too.
+
+// naiveConvInt8 is the obviously-correct reference: the direct six-loop
+// convolution with int64 accumulation, rescaled through the same
+// float32(int32)*scale expression the fast path uses.
+func naiveConvInt8(w []int8, x []int8, g ConvGeom, outC int, outScales []float32) []float32 {
+	oh, ow := g.OutH(), g.OutW()
+	k := g.InC * g.KH * g.KW
+	out := make([]float32, outC*oh*ow)
+	for o := 0; o < outC; o++ {
+		s := outScales[0]
+		if len(outScales) > 1 {
+			s = outScales[o]
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc int64
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						iy := oy*g.StrideH - g.PadH + kh
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							ix := ox*g.StrideW - g.PadW + kw
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							wv := w[o*k+(c*g.KH+kh)*g.KW+kw]
+							xv := x[(c*g.InH+iy)*g.InW+ix]
+							acc += int64(wv) * int64(xv)
+						}
+					}
+				}
+				out[(o*oh+oy)*ow+ox] = float32(int32(acc)) * s
+			}
+		}
+	}
+	return out
+}
+
+// randInt8s fills a zero-heavy random int8 slice (low-bit weight grids are
+// mostly zero, so the skip-on-zero fusion paths all get exercised).
+func randInt8s(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		switch rng.Intn(4) {
+		case 0:
+			s[i] = 0
+		case 1:
+			s[i] = int8(rng.Intn(3) - 1) // −1, 0, +1: the W2 regime
+		default:
+			s[i] = int8(rng.Intn(255) - 127)
+		}
+	}
+	return s
+}
+
+func randConvGeom(rng *rand.Rand) ConvGeom {
+	for {
+		g := ConvGeom{
+			InC:     1 + rng.Intn(8),
+			InH:     1 + rng.Intn(14),
+			InW:     1 + rng.Intn(14),
+			KH:      1 + rng.Intn(5),
+			KW:      1 + rng.Intn(5),
+			StrideH: 1 + rng.Intn(3),
+			StrideW: 1 + rng.Intn(3),
+			PadH:    rng.Intn(3),
+			PadW:    rng.Intn(3),
+		}
+		if g.Validate() == nil {
+			return g
+		}
+	}
+}
+
+func TestConvInt8SelfTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	prevGrain := SetParallelGrain(1) // force the parallel path even for tiny shapes
+	defer SetParallelGrain(prevGrain)
+	workerCaps := []int{1, 2, runtime.NumCPU()}
+	for trial := 0; trial < 60; trial++ {
+		g := randConvGeom(rng)
+		outC := 1 + rng.Intn(9)
+		k := g.InC * g.KH * g.KW
+		w := &Int8Matrix{Rows: outC, Cols: k, Data: randInt8s(rng, outC*k)}
+		x := randInt8s(rng, g.InC*g.InH*g.InW)
+		var outScales []float32
+		if rng.Intn(2) == 0 {
+			outScales = []float32{rng.Float32() + 0.5}
+		} else {
+			outScales = make([]float32, outC)
+			for i := range outScales {
+				outScales[i] = rng.Float32() + 0.5
+			}
+		}
+		want := naiveConvInt8(w.Data, x, g, outC, outScales)
+
+		var first []float32
+		for _, cap := range workerCaps {
+			prev := SetMaxWorkers(cap)
+			dst := New(outC, g.OutH()*g.OutW())
+			err := ConvInt8Into(dst, w, x, g, outScales)
+			SetMaxWorkers(prev)
+			if err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, g, err)
+			}
+			got := dst.Data()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %+v outC=%d workers=%d: out[%d] = %v, naive %v",
+						trial, g, outC, cap, i, got[i], want[i])
+				}
+			}
+			if first == nil {
+				first = append([]float32(nil), got...)
+			} else {
+				for i := range got {
+					if got[i] != first[i] {
+						t.Fatalf("trial %d workers=%d: out[%d] = %v differs from 1-worker %v",
+							trial, cap, i, got[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGemmInt8SelfTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	prevGrain := SetParallelGrain(1)
+	defer SetParallelGrain(prevGrain)
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(20)
+		if trial%5 == 0 {
+			n = 1 // exercise the matrix-vector fast path
+		}
+		a := &Int8Matrix{Rows: m, Cols: k, Data: randInt8s(rng, m*k)}
+		b := &Int8Matrix{Rows: k, Cols: n, Data: randInt8s(rng, k*n)}
+		want := make([]int32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc int32
+				for p := 0; p < k; p++ {
+					acc += int32(a.Data[i*k+p]) * int32(b.Data[p*n+j])
+				}
+				want[i*n+j] = acc
+			}
+		}
+		for _, cap := range []int{1, 2, runtime.NumCPU()} {
+			prev := SetMaxWorkers(cap)
+			got, err := GemmInt8(a, b)
+			SetMaxWorkers(prev)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %dx%dx%d workers=%d: c[%d] = %d, want %d",
+						trial, m, k, n, cap, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Shapes that cross the panel boundaries exactly (k or n a multiple of the
+// panel sizes, ±1) are the classic off-by-one territory for cache blocking.
+func TestGemmInt8PanelBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, k := range []int{kcPanel - 1, kcPanel, kcPanel + 1, 2 * kcPanel} {
+		for _, n := range []int{1, 2, ncPanel - 1, ncPanel, ncPanel + 1} {
+			m := 5 // odd: exercises the non-multiple-of-4 row tail
+			a := &Int8Matrix{Rows: m, Cols: k, Data: randInt8s(rng, m*k)}
+			b := &Int8Matrix{Rows: k, Cols: n, Data: randInt8s(rng, k*n)}
+			got, err := GemmInt8(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					var acc int32
+					for p := 0; p < k; p++ {
+						acc += int32(a.Data[i*k+p]) * int32(b.Data[p*n+j])
+					}
+					if got[i*n+j] != acc {
+						t.Fatalf("k=%d n=%d: c[%d,%d] = %d, want %d", k, n, i, j, got[i*n+j], acc)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGemmInt8Validation(t *testing.T) {
+	a := NewInt8Matrix(2, 3)
+	b := NewInt8Matrix(4, 2)
+	if _, err := GemmInt8(a, b); err == nil {
+		t.Fatal("inner-dimension mismatch accepted")
+	}
+	b = NewInt8Matrix(3, 2)
+	if err := GemmInt8Into(make([]int32, 5), a, b); err == nil {
+		t.Fatal("wrong dst length accepted")
+	}
+	b.Data = b.Data[:4]
+	if _, err := GemmInt8(a, b); err == nil {
+		t.Fatal("truncated storage accepted")
+	}
+}
+
+func TestConvInt8Validation(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := NewInt8Matrix(3, 2*3*3)
+	x := make([]int8, 2*4*4)
+	cols := g.OutH() * g.OutW()
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"bad weights", func() error {
+			return ConvInt8Into(New(3, cols), NewInt8Matrix(3, 5), x, g, []float32{1})
+		}},
+		{"bad input", func() error {
+			return ConvInt8Into(New(3, cols), w, x[:7], g, []float32{1})
+		}},
+		{"bad dst", func() error {
+			return ConvInt8Into(New(4, cols), w, x, g, []float32{1})
+		}},
+		{"bad scales", func() error {
+			return ConvInt8Into(New(3, cols), w, x, g, []float32{1, 2})
+		}},
+	} {
+		if err := tc.run(); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+	if err := ConvInt8Into(New(3, cols), w, x, g, []float32{1, 2, 3}); err != nil {
+		t.Fatalf("per-channel scales rejected: %v", err)
+	}
+}
+
+func BenchmarkGemmInt8Sizes(b *testing.B) {
+	for _, sz := range []struct{ m, k, n int }{{64, 576, 196}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", sz.m, sz.k, sz.n), func(b *testing.B) {
+			a := &Int8Matrix{Rows: sz.m, Cols: sz.k, Data: randInt8s(rand.New(rand.NewSource(1)), sz.m*sz.k)}
+			bb := &Int8Matrix{Rows: sz.k, Cols: sz.n, Data: randInt8s(rand.New(rand.NewSource(2)), sz.k*sz.n)}
+			dst := make([]int32, sz.m*sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := GemmInt8Into(dst, a, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

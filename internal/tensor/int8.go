@@ -1,0 +1,276 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Integer fast-path kernels: int8×int8→int32 GEMM with the same worker-pool
+// parallelism and 4-row register blocking as the float kernels in gemm.go,
+// plus tile-level cache blocking (L1/L2-sized panels). Quantized layers in
+// internal/nn route their inference GEMMs here so the int8 representation
+// produced by internal/quant is computed on directly instead of being
+// dequantized to float first; a single float rescale at the output recovers
+// real units. Integer accumulation is exact and associative, so results are
+// bit-identical across any worker count or tile schedule by construction —
+// a stronger guarantee than the float kernels' order-preservation argument.
+
+// Int8Matrix is a dense row-major int8 matrix, the storage format of
+// quantized weights and streamed activation patches on the integer path.
+type Int8Matrix struct {
+	Rows, Cols int
+	Data       []int8
+}
+
+// NewInt8Matrix returns a zero-filled rows×cols int8 matrix.
+func NewInt8Matrix(rows, cols int) *Int8Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative int8 matrix dimension %dx%d", rows, cols))
+	}
+	return &Int8Matrix{Rows: rows, Cols: cols, Data: make([]int8, rows*cols)}
+}
+
+// Cache-blocking panel sizes. One B panel (kcPanel×ncPanel int8) fits in
+// L1 with room for the 4 accumulator rows it is streamed against; a full
+// k-strip of A rows (4×kcPanel int8) stays resident across the j sweep.
+// Integer accumulation makes the tiling invisible in the results, so these
+// are pure tuning knobs.
+const (
+	kcPanel = 256 // rows of B per panel (k dimension)
+	ncPanel = 512 // columns of B per panel (n dimension)
+)
+
+// GemmInt8 computes C = A·B over int8 operands with int32 accumulation.
+// A is (m×k), B is (k×n), the result is a freshly allocated m·n int32
+// slice in row-major order.
+func GemmInt8(a, b *Int8Matrix) ([]int32, error) {
+	dst := make([]int32, a.Rows*b.Cols)
+	if err := GemmInt8Into(dst, a, b); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// GemmInt8Into computes dst = A·B over int8 operands, overwriting dst (a
+// row-major m×n int32 slice, typically borrowed via BorrowInt32). Rows of
+// the output are split across the package worker pool exactly like the
+// float GemmInto.
+func GemmInt8Into(dst []int32, a, b *Int8Matrix) error {
+	m, k := a.Rows, a.Cols
+	k2, n := b.Rows, b.Cols
+	if k != k2 {
+		return fmt.Errorf("tensor: GemmInt8 inner dimensions differ: %d vs %d", k, k2)
+	}
+	if len(a.Data) != m*k || len(b.Data) != k2*n {
+		return fmt.Errorf("tensor: GemmInt8 operand storage does not match declared shape")
+	}
+	if len(dst) != m*n {
+		return fmt.Errorf("tensor: GemmInt8Into dst length %d, want %d", len(dst), m*n)
+	}
+	ad, bd := a.Data, b.Data
+	if n == 1 {
+		// Matrix-vector product (the Dense inference shape): per-row dot
+		// products beat width-1 axpy sweeps.
+		parallelFor(m, k, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				var acc int32
+				for p, av := range arow {
+					acc += int32(av) * int32(bd[p])
+				}
+				dst[i] = acc
+			}
+		})
+		return nil
+	}
+	parallelFor(m, k*n, func(lo, hi int) {
+		gemmInt8Rows(dst, ad, bd, lo, hi, k, n)
+	})
+	return nil
+}
+
+// gemmInt8Rows computes rows [lo, hi) of C = A·B with 4-row register
+// blocking inside kcPanel×ncPanel cache panels of B.
+func gemmInt8Rows(cd []int32, ad, bd []int8, lo, hi, k, n int) {
+	clear(cd[lo*n : hi*n])
+	for j0 := 0; j0 < n; j0 += ncPanel {
+		j1 := min(j0+ncPanel, n)
+		for p0 := 0; p0 < k; p0 += kcPanel {
+			p1 := min(p0+kcPanel, k)
+			gemmInt8Panel(cd, ad, bd, lo, hi, p0, p1, j0, j1, k, n)
+		}
+	}
+}
+
+// gemmInt8Panel accumulates the (rows [lo,hi), columns [j0,j1)) output
+// block's contributions from the [p0,p1) slice of the inner dimension.
+// Per output element contributions are integer adds, so panel order never
+// shows in the results.
+func gemmInt8Panel(cd []int32, ad, bd []int8, lo, hi, p0, p1, j0, j1, k, n int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0 := cd[i*n+j0 : i*n+j1]
+		c1 := cd[(i+1)*n+j0 : (i+1)*n+j1]
+		c2 := cd[(i+2)*n+j0 : (i+2)*n+j1]
+		c3 := cd[(i+3)*n+j0 : (i+3)*n+j1]
+		a0 := ad[i*k : (i+1)*k]
+		a1 := ad[(i+1)*k : (i+2)*k]
+		a2 := ad[(i+2)*k : (i+3)*k]
+		a3 := ad[(i+3)*k : (i+4)*k]
+		for p := p0; p < p1; p++ {
+			brow := bd[p*n+j0 : p*n+j1]
+			av0, av1, av2, av3 := int32(a0[p]), int32(a1[p]), int32(a2[p]), int32(a3[p])
+			if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+				axpy4i8(c0, c1, c2, c3, brow, av0, av1, av2, av3)
+				continue
+			}
+			// Low-bit grids are zero-heavy: fuse only the nonzero rows so
+			// brow is still read once per 4-row block.
+			var rows [3][]int32
+			var coef [3]int32
+			nz := 0
+			if av0 != 0 {
+				rows[nz], coef[nz] = c0, av0
+				nz++
+			}
+			if av1 != 0 {
+				rows[nz], coef[nz] = c1, av1
+				nz++
+			}
+			if av2 != 0 {
+				rows[nz], coef[nz] = c2, av2
+				nz++
+			}
+			if av3 != 0 {
+				rows[nz], coef[nz] = c3, av3
+				nz++
+			}
+			switch nz {
+			case 3:
+				axpy3i8(rows[0], rows[1], rows[2], brow, coef[0], coef[1], coef[2])
+			case 2:
+				axpy2i8(rows[0], rows[1], brow, coef[0], coef[1])
+			case 1:
+				axpyi8(rows[0], brow, coef[0])
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		crow := cd[i*n+j0 : i*n+j1]
+		arow := ad[i*k : (i+1)*k]
+		for p := p0; p < p1; p++ {
+			if av := int32(arow[p]); av != 0 {
+				axpyi8(crow, bd[p*n+j0:p*n+j1], av)
+			}
+		}
+	}
+}
+
+// The integer axpy kernels mirror the float ones in gemm.go, including the
+// //go:noinline to keep row pointers out of gemmInt8Panel's registers.
+
+//go:noinline
+func axpyi8(c []int32, b []int8, a int32) {
+	c = c[:len(b)]
+	for j, bv := range b {
+		c[j] += a * int32(bv)
+	}
+}
+
+//go:noinline
+func axpy2i8(c0, c1 []int32, b []int8, a0, a1 int32) {
+	c0 = c0[:len(b)]
+	c1 = c1[:len(b)]
+	for j, bv := range b {
+		v := int32(bv)
+		c0[j] += a0 * v
+		c1[j] += a1 * v
+	}
+}
+
+//go:noinline
+func axpy3i8(c0, c1, c2 []int32, b []int8, a0, a1, a2 int32) {
+	c0 = c0[:len(b)]
+	c1 = c1[:len(b)]
+	c2 = c2[:len(b)]
+	for j, bv := range b {
+		v := int32(bv)
+		c0[j] += a0 * v
+		c1[j] += a1 * v
+		c2[j] += a2 * v
+	}
+}
+
+//go:noinline
+func axpy4i8(c0, c1, c2, c3 []int32, b []int8, a0, a1, a2, a3 int32) {
+	c0 = c0[:len(b)]
+	c1 = c1[:len(b)]
+	c2 = c2[:len(b)]
+	c3 = c3[:len(b)]
+	for j, bv := range b {
+		v := int32(bv)
+		c0[j] += a0 * v
+		c1[j] += a1 * v
+		c2[j] += a2 * v
+		c3[j] += a3 * v
+	}
+}
+
+// Int8/int32 scratch arenas, the integer-path siblings of Borrow/Release
+// in scratch.go: power-of-two size-class sync.Pools so streamed patch
+// tiles, quantized activations and int32 accumulators recycle instead of
+// allocating per inference. Borrowed slices have unspecified contents.
+
+var (
+	int8Pools  [maxScratchBits - minScratchBits + 1]sync.Pool
+	int32Pools [maxScratchBits - minScratchBits + 1]sync.Pool
+)
+
+// BorrowInt8 returns an int8 scratch slice of length n with unspecified
+// contents. Lengths outside the pooled size classes fall back to make.
+func BorrowInt8(n int) []int8 {
+	c := scratchClass(n)
+	if c < 0 {
+		return make([]int8, n)
+	}
+	if p, _ := int8Pools[c].Get().(*[]int8); p != nil {
+		return (*p)[:n]
+	}
+	return make([]int8, 1<<(minScratchBits+c))[:n]
+}
+
+// ReleaseInt8 returns a slice obtained from BorrowInt8 to the arena. The
+// caller must not use s afterwards. Slices of unpooled sizes are dropped.
+func ReleaseInt8(s []int8) {
+	d := s[:cap(s)]
+	for c := range int8Pools {
+		if len(d) == 1<<(minScratchBits+c) {
+			int8Pools[c].Put(&d)
+			return
+		}
+	}
+}
+
+// BorrowInt32 returns an int32 scratch slice of length n with unspecified
+// contents.
+func BorrowInt32(n int) []int32 {
+	c := scratchClass(n)
+	if c < 0 {
+		return make([]int32, n)
+	}
+	if p, _ := int32Pools[c].Get().(*[]int32); p != nil {
+		return (*p)[:n]
+	}
+	return make([]int32, 1<<(minScratchBits+c))[:n]
+}
+
+// ReleaseInt32 returns a slice obtained from BorrowInt32 to the arena.
+func ReleaseInt32(s []int32) {
+	d := s[:cap(s)]
+	for c := range int32Pools {
+		if len(d) == 1<<(minScratchBits+c) {
+			int32Pools[c].Put(&d)
+			return
+		}
+	}
+}

@@ -22,6 +22,7 @@ test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
 		./internal/quant/... \
 		./internal/edge/... ./internal/manager/... ./internal/multiedge/... \
+		./internal/cluster/... \
 		./internal/library/... ./internal/explore/... ./internal/parallel/... \
 		./internal/sim/... ./internal/experiments/... ./internal/obs/...
 
@@ -29,19 +30,19 @@ test-race:
 # decision-event streams (manager verdicts) for Scenarios 1, 2 and 1+2,
 # and the pool supervision streams (failover, overload shed).
 # Regenerate after an intentional semantic change with:
-#   go test ./internal/edge/ ./internal/multiedge/ -run Golden -update
+#   go test ./internal/edge/ ./internal/multiedge/ ./internal/cluster/ -run Golden -update
 trace-golden:
-	$(GO) test -count=1 -run 'Golden' ./internal/edge/... ./internal/multiedge/...
+	$(GO) test -count=1 -run 'Golden' ./internal/edge/... ./internal/multiedge/... ./internal/cluster/...
 
 # Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
 # across the fault layer, edge simulation, manager and pool.
 test-chaos:
-	$(GO) test -count=1 -run 'Chaos' ./internal/edge/... ./internal/multiedge/...
+	$(GO) test -count=1 -run 'Chaos' ./internal/edge/... ./internal/multiedge/... ./internal/cluster/...
 	$(GO) test -count=1 ./internal/fault/...
 	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
 
 # Tracked benchmark baseline: key design-time and substrate benchmarks,
-# recorded to BENCH_PR6.json for regression diffing.
+# recorded to BENCH_PR7.json for regression diffing.
 bench:
 	./scripts/bench.sh
 

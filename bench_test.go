@@ -699,6 +699,45 @@ func BenchmarkPoolRun(b *testing.B) {
 	})
 }
 
+// BenchmarkClusterRun measures the fleet scheduler end to end: 1000
+// camera streams sharded across 8 supervised pools for the default 5
+// epochs. The healthy variant is the cluster-control overhead guard —
+// scripts/verify.sh compares it against the BENCH_PR7.json baseline via
+// benchjson -check, so placement, rebalancing, and aggregation must stay
+// cheap relative to the serving work they orchestrate. The one-pool-dead
+// variant crashes all of pool 0's boards mid-run and exercises
+// migration, blackout accounting, and repair.
+func BenchmarkClusterRun(b *testing.B) {
+	p := experiments.Pairs[0]
+	lib, err := experiments.Lib(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, plan *FaultPlan, faultPools []int) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sch, err := NewClusterScheduler(lib, DefaultStreams(1000), ClusterConfig{
+				Pools: 8, Seed: int64(i + 1),
+				FaultPlan: plan, FaultPools: faultPools, FaultSeed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sch.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("one-pool-dead", func(b *testing.B) {
+		plan, err := ParseFaultPlan("board-crash:p=1,start=6,end=6.3,repair=8")
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, plan, []int{0})
+	})
+}
+
 // BenchmarkDESKernel measures raw event throughput of the simulation
 // kernel on both queue implementations. The closure is hoisted out of the
 // schedule loop so allocs/op reflects the engine (event storage, queue

@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf|pool]
+//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf|pool|cluster]
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
 //	            [-reconfig-ms 145] [-csv]
 //	            [-boards 4] [-standby 1] [-queue-depth 16] [-deadline 0.05]
 //	            [-trace out.jsonl] [-trace-sample 25] [-metrics-snapshot]
 //	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
+//	            [-streams 1000] [-pools 8] [-epochs 5] [-epoch-seconds 5]
+//	            [-stream-spec "name[*N]:rate=,prio=,tenant=,slo=,..."]
+//	            [-fault-pools 0,1] [-tenant-share 0.5]
 //
 // -controller pool serves through a supervised multi-board pool of -boards
 // FPGAs (plus -standby hot spares); board-level fault kinds in -fault-plan
@@ -20,6 +23,13 @@
 // -deadline (seconds) sheds frames that cannot be served in time; every
 // shed frame carries a cause (queue-full, deadline-exceeded,
 // no-healthy-board, reconfig-stall).
+//
+// -controller cluster shards -streams camera streams (or an explicit
+// -stream-spec declaration) across -pools supervised pools of -boards
+// FPGAs each, rebalancing at -epoch-seconds boundaries for -epochs
+// epochs. -fault-pools restricts -fault-plan to those pool indices.
+// Cluster-level shedding extends the drop taxonomy with no-pool-capacity,
+// tenant-throttled, and migrating; the summary reports per-tenant totals.
 //
 // -trace streams every decision event (manager verdicts, switches, faults,
 // board health transitions) plus sampled hot-path events to a JSON Lines
@@ -33,9 +43,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/accuracy"
+	"repro/internal/cluster"
 	"repro/internal/edge"
 	"repro/internal/fault"
 	"repro/internal/library"
@@ -50,7 +64,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaflow-sim: ")
 	scenario := flag.String("scenario", "2", "workload scenario: 1, 2, or 1+2")
-	controller := flag.String("controller", "adaflow", "adaflow, finn, reconf, or pool")
+	controller := flag.String("controller", "adaflow", "adaflow, finn, reconf, pool, or cluster")
 	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
 	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
 	runs := flag.Int("runs", 1, "repetitions to average")
@@ -68,6 +82,13 @@ func main() {
 	metricsSnapshot := flag.Bool("metrics-snapshot", false, "print a Prometheus-style metrics snapshot to stdout after the run")
 	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;board-crash:p=1,board=0,start=5,end=5.2,repair=10" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift, board-crash, board-hang, frame-corrupt, board-brownout)`)
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same plan+seed replays bit-identically)")
+	streams := flag.Int("streams", 1000, "camera streams for -controller cluster")
+	streamSpec := flag.String("stream-spec", "", `explicit stream declarations for -controller cluster, e.g. "cam*96:rate=30,tenant=bronze;ptz*4:rate=60,prio=high,tenant=gold,slo=0.05"`)
+	pools := flag.Int("pools", 8, "fleet size for -controller cluster")
+	epochs := flag.Int("epochs", 5, "placement epochs for -controller cluster")
+	epochSeconds := flag.Float64("epoch-seconds", 5, "epoch length in seconds for -controller cluster")
+	faultPools := flag.String("fault-pools", "", "comma-separated pool indices -fault-plan targets (empty = all pools)")
+	tenantShare := flag.Float64("tenant-share", 0, "max fraction of cluster capacity per tenant (0 = uncapped)")
 	flag.Parse()
 
 	var plan *fault.Plan
@@ -178,6 +199,48 @@ func main() {
 		}
 	}
 
+	if *controller == "cluster" {
+		specs := cluster.DefaultStreams(*streams)
+		if *streamSpec != "" {
+			if specs, err = cluster.ParseStreams(*streamSpec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var fp []int
+		if *faultPools != "" {
+			for _, part := range strings.Split(*faultPools, ",") {
+				i, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					log.Fatalf("bad -fault-pools entry %q", part)
+				}
+				fp = append(fp, i)
+			}
+		}
+		mcfg := manager.DefaultConfig()
+		mcfg.AccuracyThreshold = *threshold
+		mcfg.CriteriaMultiple = *criteria
+		sch, err := cluster.New(lib, specs, cluster.Config{
+			Pools: *pools, BoardsPerPool: *boards, Standby: *standby,
+			Epochs: *epochs, EpochSeconds: *epochSeconds,
+			TenantShare: *tenantShare, Seed: *seed,
+			FaultPlan: plan, FaultPools: fp, FaultSeed: *faultSeed,
+			QueueFrames: *queueDepth, Deadline: *deadline, Manager: mcfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(sinks) > 0 {
+			sch.SetTracer(obs.New(obs.Multi(sinks...), obs.Sample(*traceSample)))
+		}
+		res, err := sch.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printCluster(res)
+		finishTrace()
+		return
+	}
+
 	if *csv || *runs == 1 {
 		ctl, err := mk()
 		if err != nil {
@@ -225,6 +288,41 @@ func main() {
 	printFaults(plan, mean.Faults, nil)
 	printPool(mean)
 	finishTrace()
+}
+
+// printCluster summarizes a cluster run: fleet shape, loss with the
+// full cluster drop taxonomy, rebalancing activity, supervision
+// counters, and per-tenant service (sorted for stable output).
+func printCluster(res *cluster.Result) {
+	fmt.Printf("cluster: %d streams on %d pools for %d epochs: frame loss %.2f%% (%.0f of %.0f frames)\n",
+		res.Streams, res.Pools, res.Epochs, res.FrameLossPct, res.Dropped, res.Arrived)
+	d := res.Drops
+	if d.Total() > 0 {
+		fmt.Printf("drops: %.0f queue-full, %.0f deadline-exceeded, %.0f no-healthy-board, %.0f reconfig-stall, %.0f no-pool-capacity, %.0f tenant-throttled, %.0f migrating\n",
+			d.Pool.QueueFull, d.Pool.DeadlineExceeded, d.Pool.NoHealthyBoard, d.Pool.ReconfigStall,
+			d.NoPoolCapacity, d.TenantThrottled, d.Migrating)
+	}
+	fmt.Printf("rebalance: %d migrations, %d throttled stream-epochs, %d unplaced stream-epochs\n",
+		res.Migrations, res.Throttled, res.Unplaced)
+	p := res.Pool
+	if p.BoardsDied+p.BoardsRecovered+p.Failovers+p.StandbyPromotions+p.DegradedEntries > 0 {
+		fmt.Printf("fleet: %d boards died, %d recovered, %d failovers, %d promotions, %d degraded entries\n",
+			p.BoardsDied, p.BoardsRecovered, p.Failovers, p.StandbyPromotions, p.DegradedEntries)
+	}
+	names := make([]string, 0, len(res.Tenants))
+	for name := range res.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := res.Tenants[name]
+		loss := 0.0
+		if t.Arrived > 0 {
+			loss = t.Dropped / t.Arrived * 100
+		}
+		fmt.Printf("tenant %-8s %-6s %4d streams, %5.2f%% loss (%.0f of %.0f frames)\n",
+			name, t.Class, t.Streams, loss, t.Dropped, t.Arrived)
+	}
 }
 
 // printPool summarizes admission-control shedding (by cause) and pool

@@ -13,6 +13,7 @@ package adaflow
 //	fmt.Println(res.Pool.Failovers, res.Drops.Total())
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/multiedge"
@@ -60,4 +61,57 @@ func NewPool(lib *Library, n int, cfg ManagerConfig) (*Pool, error) {
 // -fault-plan flag ("kind:p=X,start=Y,end=Z,mag=M[,board=K,repair=S];…").
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	return fault.ParsePlan(spec)
+}
+
+// Cluster facade: the fleet-scale stream scheduler (internal/cluster).
+// A ClusterScheduler shards declared camera streams across a fleet of
+// supervised pools, rebalancing at epoch boundaries:
+//
+//	streams, _ := adaflow.ParseStreams("cam*96:rate=30,tenant=bronze;ptz*4:rate=60,prio=high,tenant=gold,slo=0.05")
+//	sch, _ := adaflow.NewClusterScheduler(lib, streams, adaflow.ClusterConfig{Pools: 8, Seed: 1})
+//	res, _ := sch.Run()
+//	fmt.Println(res.FrameLossPct, res.Drops.Total())
+
+type (
+	// ClusterScheduler places streams onto pools and dispatches each
+	// pool's epoch through RunEdge, seed-replayable at any worker count.
+	ClusterScheduler = cluster.Scheduler
+	// ClusterConfig tunes the fleet (pool count/size, epochs, headroom,
+	// tenant share cap, fault plan and targeting).
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates a cluster run: totals, drop taxonomy,
+	// migrations, per-tenant stats, per-epoch reports.
+	ClusterResult = cluster.Result
+	// StreamSpec declares one camera stream (tenant, priority class,
+	// rate, SLO, fluctuation).
+	StreamSpec = cluster.StreamSpec
+	// StreamPriority is a stream's admission class (low, normal, high).
+	StreamPriority = cluster.Priority
+	// ClusterDrops extends the one-cause-per-drop taxonomy to the
+	// cluster level (ClusterResult.Drops).
+	ClusterDrops = metrics.ClusterDrops
+)
+
+// Stream priority classes, shed-first to shed-last.
+const (
+	StreamLow    = cluster.Low
+	StreamNormal = cluster.Normal
+	StreamHigh   = cluster.High
+)
+
+// NewClusterScheduler builds a fleet scheduler over a shared library.
+func NewClusterScheduler(lib *Library, streams []StreamSpec, cfg ClusterConfig) (*ClusterScheduler, error) {
+	return cluster.New(lib, streams, cfg)
+}
+
+// ParseStreams parses the stream-spec grammar used by adaflow-sim's
+// -stream-spec flag ("name[*N]:rate=,prio=,tenant=,slo=,dev=,interval=;…").
+func ParseStreams(spec string) ([]StreamSpec, error) {
+	return cluster.ParseStreams(spec)
+}
+
+// DefaultStreams builds the CLI's synthetic n-camera fleet (10% gold /
+// 30% silver / 60% bronze tiers).
+func DefaultStreams(n int) []StreamSpec {
+	return cluster.DefaultStreams(n)
 }

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestChaosAcceptanceCrashTwoOfEight is the PR's acceptance scenario: a
+// 1000-stream fleet on 8 pools survives both boards' worth of pools 0
+// and 1 crashing mid-run. The scheduler migrates their streams, every
+// dropped frame keeps exactly one cluster-level cause, the gold tenant's
+// loss stays bounded (bronze absorbs the shedding), the crashed pools
+// repair and rejoin, and the identical seed replays bit-identically.
+func TestChaosAcceptanceCrashTwoOfEight(t *testing.T) {
+	runOnce := func() (*Result, string) {
+		sch, err := New(testLib(t), DefaultStreams(1000), Config{
+			Pools: 8, Seed: 1, Epochs: 5,
+			FaultPlan: chaosPlan(t), FaultPools: []int{0, 1}, FaultSeed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		sch.SetTracer(obs.New(obs.Filter(sink, func(ev obs.Event) bool {
+			return ev.Cat == obs.ClusterCat
+		})))
+		res, err := sch.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+
+	res, trace := runOnce()
+	// Both fault pools lost their whole serving set (4 boards each).
+	if res.Pool.BoardsDied < 8 {
+		t.Errorf("boards died = %d, want >= 8 (2 pools of 4)", res.Pool.BoardsDied)
+	}
+	if res.Migrations == 0 {
+		t.Error("no stream migrated off the crashed pools")
+	}
+	// Taxonomy: exclusive and exhaustive, cluster-wide, throughout.
+	if d := math.Abs(res.Drops.Total() - res.Dropped); d > 1e-6 {
+		t.Errorf("dropped %.3f != causes total %.3f (%+v)", res.Dropped, res.Drops.Total(), res.Drops)
+	}
+	if res.Drops.Migrating <= 0 {
+		t.Error("migrations charged no blackout frames")
+	}
+	// The gold tenant's SLO-relevant loss is bounded: its loss fraction
+	// stays below both the shed-first bronze tier's and an absolute 10 %.
+	gold, bronze := res.Tenants["gold"], res.Tenants["bronze"]
+	if gold == nil || bronze == nil {
+		t.Fatalf("missing tenants: %v", res.Tenants)
+	}
+	goldLoss := gold.Dropped / gold.Arrived
+	bronzeLoss := bronze.Dropped / bronze.Arrived
+	if goldLoss >= bronzeLoss {
+		t.Errorf("gold loss %.3f not below bronze loss %.3f", goldLoss, bronzeLoss)
+	}
+	if goldLoss > 0.10 {
+		t.Errorf("gold tenant lost %.1f%% of frames, want <= 10%%", goldLoss*100)
+	}
+	// Recovery: the 8 s repair completes and the pools take streams again
+	// by the final epoch.
+	if res.Pool.BoardsRecovered < 8 {
+		t.Errorf("boards recovered = %d, want >= 8", res.Pool.BoardsRecovered)
+	}
+	last := res.Reports[len(res.Reports)-1]
+	if last.Assigned[0] <= 0 || last.Assigned[1] <= 0 {
+		t.Errorf("final epoch left repaired pools empty: assigned %v", last.Assigned)
+	}
+	// Bit-identical replay: stats, decisions, and the cluster trace.
+	res2, trace2 := runOnce()
+	if renderResult(res) != renderResult(res2) {
+		t.Error("identical seed changed the cluster result")
+	}
+	if trace != trace2 {
+		t.Error("identical seed did not reproduce the identical cluster trace")
+	}
+}
+
+// TestGoldenClusterTraces pins the scheduler's serial decision stream —
+// placement, migration, shedding, epoch summaries — for a rebalance
+// scenario (a crashed pool sheds its streams and takes them back after
+// repair) and a tenant-shed scenario (a share cap throttles the greedy
+// tenant). Cluster events are emitted only from the serial control loop,
+// so these files are byte-identical at any worker count. A diff means
+// scheduling semantics changed: inspect it, then refresh with
+//
+//	go test ./internal/cluster/ -run Golden -update
+func TestGoldenClusterTraces(t *testing.T) {
+	lib := testLib(t)
+	cases := []struct {
+		file    string
+		streams func() ([]StreamSpec, error)
+		cfg     func(t *testing.T) Config
+	}{
+		{
+			file: "cluster_rebalance.golden",
+			streams: func() ([]StreamSpec, error) {
+				return ParseStreams("ptz*2:rate=120,prio=high,tenant=gold,slo=0.05;cam*6:rate=90,tenant=bronze")
+			},
+			cfg: func(t *testing.T) Config {
+				return Config{
+					Pools: 3, BoardsPerPool: 2, Seed: 1, Epochs: 4,
+					FaultPlan: chaosPlan(t), FaultPools: []int{0}, FaultSeed: 7,
+				}
+			},
+		},
+		{
+			file: "cluster_tenant_shed.golden",
+			streams: func() ([]StreamSpec, error) {
+				return ParseStreams("greedy*8:rate=120,tenant=greedy;modest*2:rate=60,prio=high,tenant=modest")
+			},
+			cfg: func(t *testing.T) Config {
+				return Config{Pools: 2, BoardsPerPool: 2, Seed: 1, Epochs: 3, TenantShare: 0.4}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			streams, err := tc.streams()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch, err := New(lib, streams, tc.cfg(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			sink := obs.NewJSONL(&buf)
+			sch.SetTracer(obs.New(obs.Filter(sink, func(ev obs.Event) bool {
+				return ev.Cat == obs.ClusterCat
+			})))
+			if _, err := sch.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got := buf.String()
+			if strings.TrimSpace(got) == "" {
+				t.Fatal("scenario emitted no cluster events; the golden would pin nothing")
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("trace mismatch for %s (rerun with -update after verifying the change)", tc.file)
+			}
+		})
+	}
+}
+
+// TestClusterFaultPlanRebasing: a rule windowed entirely inside epoch 2
+// of cluster time fires there and nowhere else, and an open-ended rule
+// keeps firing in every epoch after its start.
+func TestClusterFaultPlanRebasing(t *testing.T) {
+	plan, err := fault.ParsePlan("board-crash:p=1,start=11,end=11.3,repair=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runCluster(t, DefaultStreams(100), Config{
+		Pools: 2, Seed: 1, Epochs: 4,
+		FaultPlan: plan, FaultPools: []int{0}, FaultSeed: 3,
+	})
+	if res.Pool.BoardsDied == 0 {
+		t.Fatal("windowed rule never fired after rebasing")
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/library"
+	"repro/internal/model"
+)
+
+// testLib builds the paper's CNV-W2A2/cifar10 library once and shares it
+// across the suite; entries are read-only at run time, so sharing is safe
+// even for concurrent pool runs.
+var libCache struct {
+	once sync.Once
+	lib  *library.Library
+	err  error
+}
+
+func testLib(t testing.TB) *library.Library {
+	t.Helper()
+	libCache.once.Do(func() {
+		m, err := model.CNVW2A2("cifar10", 10, 1)
+		if err != nil {
+			libCache.err = err
+			return
+		}
+		ev, err := accuracy.NewCalibrated("CNVW2A2", "cifar10")
+		if err != nil {
+			libCache.err = err
+			return
+		}
+		libCache.lib, libCache.err = library.Generate(m, library.Config{Evaluator: ev})
+	})
+	if libCache.err != nil {
+		t.Fatal(libCache.err)
+	}
+	return libCache.lib
+}
+
+// runCluster builds and runs a scheduler, failing the test on any error.
+func runCluster(t testing.TB, streams []StreamSpec, cfg Config) *Result {
+	t.Helper()
+	sch, err := New(testLib(t), streams, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import "sort"
+
+// Placement policy. All functions here are pure or operate on plain
+// slices, run only from the scheduler's serial control loop, and order
+// every decision deterministically — this is what makes a cluster run
+// seed-replayable bit-identically at any worker count.
+
+// orderStreams sorts a copy of the stream set into placement order:
+// higher priority first, then higher rate (big streams place first so
+// worst-fit packs them where fragmentation hurts least), then name for a
+// total deterministic order.
+func orderStreams(streams []StreamSpec) []StreamSpec {
+	out := make([]StreamSpec, len(streams))
+	copy(out, streams)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Class != b.Class {
+			return a.Class > b.Class
+		}
+		if a.Rate != b.Rate {
+			return a.Rate > b.Rate
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// evictOrder sorts stream indices (into an ordered slice) into eviction
+// order for an over-committed pool: lowest priority first, and within a
+// class the largest rate first so the fewest streams migrate.
+func evictOrder(streams []StreamSpec, idx []int) {
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := streams[idx[x]], streams[idx[y]]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Rate != b.Rate {
+			return a.Rate > b.Rate
+		}
+		return a.Name < b.Name
+	})
+}
+
+// admit applies cluster-level tenant/priority admission control to the
+// already-ordered stream set: streams are admitted highest-priority
+// first while the cluster's aggregate usable capacity lasts and, when a
+// per-tenant share cap is set, while the stream's tenant stays within
+// its share. Rejected streams are throttled for the epoch — their frames
+// drop with the exclusive cause tenant-throttled. Because the walk is in
+// priority order, pressure always sheds the lowest classes first.
+func admit(ordered []StreamSpec, clusterCap, tenantShare float64) (admitted, throttled []StreamSpec) {
+	total := 0.0
+	perTenant := make(map[string]float64)
+	limit := clusterCap
+	tenantLimit := 0.0
+	if tenantShare > 0 {
+		tenantLimit = tenantShare * clusterCap
+	}
+	for _, s := range ordered {
+		if total+s.Rate > limit {
+			throttled = append(throttled, s)
+			continue
+		}
+		if tenantLimit > 0 && perTenant[s.Tenant]+s.Rate > tenantLimit {
+			throttled = append(throttled, s)
+			continue
+		}
+		total += s.Rate
+		perTenant[s.Tenant] += s.Rate
+		admitted = append(admitted, s)
+	}
+	return admitted, throttled
+}
+
+// placer assigns streams to pools worst-fit: each stream goes to the
+// pool with the most remaining usable capacity, so load spreads evenly
+// and the headroom that absorbs workload fluctuation stays balanced.
+// Capacities are the health-weighted effective capacities the scheduler
+// scored the pools with (dead, hung, and mid-reconfiguration boards
+// contribute nothing; browned-out boards are derated).
+type placer struct {
+	rem []float64
+}
+
+func newPlacer(caps []float64) *placer {
+	rem := make([]float64, len(caps))
+	copy(rem, caps)
+	return &placer{rem: rem}
+}
+
+// reserve pins an already-placed (sticky) stream to its pool.
+func (p *placer) reserve(pool int, rate float64) { p.rem[pool] -= rate }
+
+// place assigns one stream worst-fit. It fails — the stream stays
+// unplaced this epoch, cause no-pool-capacity — only when no pool's
+// remaining capacity covers the stream's rate; ties break toward the
+// lowest pool index.
+func (p *placer) place(rate float64) (pool int, ok bool) {
+	best, bestRem := -1, 0.0
+	for i, r := range p.rem {
+		if r >= rate && (best == -1 || r > bestRem) {
+			best, bestRem = i, r
+		}
+	}
+	if best == -1 {
+		return -1, false
+	}
+	p.rem[best] -= rate
+	return best, true
+}

@@ -1,0 +1,265 @@
+// Package cluster shards simulated camera streams across a fleet of
+// supervised multi-board pools (internal/multiedge). It separates
+// placement from dispatch: a serial placer scores pools by
+// health-weighted effective capacity and assigns streams worst-fit under
+// per-tenant priority admission control, then a dispatcher runs each
+// pool's epoch through the existing edge.Run path, in parallel. Between
+// epochs the placer rebalances — migrating streams off quorum-degraded
+// or over-committed pools — and every dropped frame carries exactly one
+// cluster-level cause (metrics.ClusterDrops), extending the pool-level
+// one-cause-per-drop taxonomy.
+//
+// Runs are seed-replayable bit-identically at any worker count: all
+// placement, rebalancing, and aggregation decisions are made serially in
+// a deterministic order, the parallel section only executes the
+// already-decided per-pool runs, and cluster trace events are emitted
+// exclusively from the serial control loop.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// Priority is a stream's admission class. Placement admits and places
+// high-priority streams first; rebalancing and tenant throttling shed
+// low-priority streams first.
+type Priority int
+
+const (
+	Low Priority = iota
+	Normal
+	High
+	numPriorities
+)
+
+var priorityNames = [numPriorities]string{
+	Low:    "low",
+	Normal: "normal",
+	High:   "high",
+}
+
+// String names the class (the spelling ParseStreams accepts).
+func (p Priority) String() string {
+	if p < 0 || p >= numPriorities {
+		return fmt.Sprintf("cluster.Priority(%d)", int(p))
+	}
+	return priorityNames[p]
+}
+
+func parsePriority(name string) (Priority, error) {
+	for i, n := range priorityNames {
+		if name == n {
+			return Priority(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown priority %q%s",
+		name, fault.DidYouMean(name, priorityNames[:]))
+}
+
+// StreamSpec declares one camera stream to serve: who owns it, how
+// urgent it is, and what it sends.
+type StreamSpec struct {
+	// Name identifies the stream; unique within a scheduler.
+	Name string
+	// Tenant groups streams for per-tenant admission control ("default"
+	// when unset).
+	Tenant string
+	// Class is the admission priority.
+	Class Priority
+	// Rate is the stream's expected frame rate in FPS (required, > 0).
+	Rate float64
+	// SLO is the serving deadline in seconds: a pool serving this stream
+	// sheds frames it cannot clear within the tightest SLO placed on it.
+	// Zero inherits the cluster's default deadline.
+	SLO float64
+	// Deviation is the workload fluctuation fraction in [0,1] (default
+	// 0.3, the paper's stable scenario).
+	Deviation float64
+	// Interval is the fluctuation redraw period in seconds (default 5).
+	Interval float64
+}
+
+// Validate checks one spec's invariants.
+func (s StreamSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("cluster: stream with empty name")
+	case s.Class < 0 || s.Class >= numPriorities:
+		return fmt.Errorf("cluster: stream %q has invalid priority %d", s.Name, int(s.Class))
+	case s.Rate <= 0:
+		return fmt.Errorf("cluster: stream %q has non-positive rate %v", s.Name, s.Rate)
+	case s.SLO < 0:
+		return fmt.Errorf("cluster: stream %q has negative SLO %v", s.Name, s.SLO)
+	case s.Deviation < 0 || s.Deviation > 1:
+		return fmt.Errorf("cluster: stream %q deviation %v outside [0,1]", s.Name, s.Deviation)
+	case s.Interval < 0:
+		return fmt.Errorf("cluster: stream %q interval %v negative", s.Name, s.Interval)
+	}
+	return nil
+}
+
+func (s *StreamSpec) defaults() {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Deviation == 0 {
+		s.Deviation = 0.3
+	}
+	if s.Interval == 0 {
+		s.Interval = 5
+	}
+}
+
+var streamKeys = []string{"rate", "prio", "tenant", "slo", "dev", "interval"}
+
+// validName restricts stream names to [A-Za-z0-9._-] so a declared name
+// can never collide with the grammar's metacharacters.
+func validName(name string) bool {
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseStreams parses a stream-spec of semicolon-separated declarations,
+// each "name[*count]:key=value,...", following the fault-plan grammar
+// conventions, e.g.
+//
+//	cam*96:rate=30,tenant=bronze;ptz*4:rate=60,prio=high,tenant=gold,slo=0.05
+//
+// Keys: rate (FPS, required), prio (low|normal|high), tenant, slo
+// (deadline seconds), dev (fluctuation fraction), interval (redraw
+// seconds). "name*N" expands to name-0 … name-(N-1), all sharing the
+// declaration. An unknown key or priority is a hard parse error with a
+// did-you-mean hint — misdeclared streams never degrade to a silent
+// default. An empty spec yields an empty set.
+func ParseStreams(spec string) ([]StreamSpec, error) {
+	var out []StreamSpec
+	seen := make(map[string]bool)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, params, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: stream %q missing ':' before parameters", part)
+		}
+		name := strings.TrimSpace(head)
+		count := 1
+		if base, n, starred := strings.Cut(name, "*"); starred {
+			c, err := strconv.Atoi(strings.TrimSpace(n))
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("cluster: stream %q has invalid count %q", base, n)
+			}
+			name, count = strings.TrimSpace(base), c
+		}
+		if name == "" {
+			return nil, fmt.Errorf("cluster: stream declaration %q has empty name", part)
+		}
+		if !validName(name) {
+			return nil, fmt.Errorf("cluster: stream name %q has characters outside [A-Za-z0-9._-]", name)
+		}
+		// The grammar's default priority is normal; the zero value of a
+		// StreamSpec built in code is low (shed first), the conservative
+		// choice for undeclared intent.
+		s := StreamSpec{Name: name, Class: Normal}
+		sawRate := false
+		for _, kv := range strings.Split(params, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("cluster: stream %q parameter %q is not key=value", name, kv)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "rate", "slo", "dev", "interval":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: stream %q %s=%q is not a number", name, key, val)
+				}
+				switch key {
+				case "rate":
+					s.Rate, sawRate = f, true
+				case "slo":
+					s.SLO = f
+				case "dev":
+					s.Deviation = f
+				case "interval":
+					s.Interval = f
+				}
+			case "prio":
+				p, err := parsePriority(val)
+				if err != nil {
+					return nil, err
+				}
+				s.Class = p
+			case "tenant":
+				if val == "" {
+					return nil, fmt.Errorf("cluster: stream %q has empty tenant", name)
+				}
+				s.Tenant = val
+			default:
+				return nil, fmt.Errorf("cluster: stream %q has unknown parameter %q%s",
+					name, key, fault.DidYouMean(key, streamKeys))
+			}
+		}
+		if !sawRate {
+			return nil, fmt.Errorf("cluster: stream %q missing required rate=", name)
+		}
+		s.defaults()
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			e := s
+			if count > 1 {
+				e.Name = fmt.Sprintf("%s-%d", name, i)
+			}
+			if seen[e.Name] {
+				return nil, fmt.Errorf("cluster: duplicate stream name %q", e.Name)
+			}
+			seen[e.Name] = true
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// DefaultStreams builds the CLI's synthetic fleet of n cameras: a 10 %
+// gold tier (high priority, 60 FPS PTZ cameras with a 50 ms SLO), a 30 %
+// silver tier (normal priority at 30 FPS), and a 60 % bronze tier (low
+// priority at 15 FPS, shed first under pressure).
+func DefaultStreams(n int) []StreamSpec {
+	out := make([]StreamSpec, 0, n)
+	for i := 0; i < n; i++ {
+		s := StreamSpec{Name: fmt.Sprintf("cam-%d", i)}
+		switch i % 10 {
+		case 0:
+			s.Tenant, s.Class, s.Rate, s.SLO = "gold", High, 60, 0.05
+		case 1, 2, 3:
+			s.Tenant, s.Class, s.Rate = "silver", Normal, 30
+		default:
+			s.Tenant, s.Class, s.Rate = "bronze", Low, 15
+		}
+		s.defaults()
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package edge
+
+import "repro/internal/metrics"
+
+// admitOutcome is the result of one fluid admission-control step: how the
+// bounded queue evolved, what was served, and what was shed with which
+// cause. Causes are exclusive — every shed frame carries exactly one —
+// which is what keeps Drops.Total() == Dropped across every run mode and,
+// one level up, ClusterDrops.Total() == Dropped across the cluster
+// scheduler that composes these steps per stream.
+type admitOutcome struct {
+	// Queue is the backlog after arrivals joined, capacity drained, the
+	// bound overflowed, and any deadline shed fired.
+	Queue float64
+	// Processed is the frames served this step (≤ capacity, ≤ backlog).
+	Processed float64
+	// Overflow is the frames shed because the queue bound overflowed,
+	// attributed to OverflowCause (queue-full, or no-healthy-board /
+	// reconfig-stall when the overflow was caused by lost capacity).
+	Overflow      float64
+	OverflowCause metrics.DropCause
+	// Shed is the frames shed because the remaining backlog could not be
+	// served within the deadline, attributed to ShedCause
+	// (deadline-exceeded, or no-healthy-board with zero capacity). Zero
+	// when deadline is zero: disabling the deadline is the historical
+	// serve-stale behaviour.
+	Shed      float64
+	ShedCause metrics.DropCause
+}
+
+// Dropped sums the step's shed frames across both causes.
+func (o admitOutcome) Dropped() float64 { return o.Overflow + o.Shed }
+
+// admitStep advances the bounded-queue admission control of one fluid
+// accounting step, the policy kernel shared by Run (directly) and the
+// cluster scheduler (through Run, per pool). In order:
+//
+//  1. arrived frames join the backlog;
+//  2. capacity (already availability-scaled by the caller) drains it;
+//  3. backlog beyond bound overflows — cause queue-full, unless the
+//     server has no healthy capacity (no-healthy-board) or is stalled on
+//     a reconfiguration (reconfig-stall);
+//  4. with a positive deadline, backlog deeper than the frames the server
+//     can clear within it (servingFPS·deadline) is shed now with cause
+//     deadline-exceeded rather than served stale.
+//
+// The ordering is load-bearing: overflow is attributed before the
+// deadline shed, so a burst that blows the queue bound reads as
+// queue-full pressure and only the surviving backlog is deadline-policed.
+// admitStep is pure — the admission_test.go tables pin its semantics,
+// including zero-depth queues and deadline==0.
+func admitStep(queue, arrived, capacity, bound, deadline, servingFPS float64, stalled bool) admitOutcome {
+	out := admitOutcome{Queue: queue + arrived}
+	out.Processed = capacity
+	if out.Processed > out.Queue {
+		out.Processed = out.Queue
+	}
+	out.Queue -= out.Processed
+	if out.Queue > bound {
+		out.Overflow = out.Queue - bound
+		out.Queue = bound
+		out.OverflowCause = metrics.DropQueueFull
+		if servingFPS <= 0 {
+			out.OverflowCause = metrics.DropNoHealthyBoard
+		} else if stalled {
+			out.OverflowCause = metrics.DropReconfigStall
+		}
+	}
+	if deadline > 0 {
+		if lim := servingFPS * deadline; out.Queue > lim {
+			out.Shed = out.Queue - lim
+			out.Queue = lim
+			out.ShedCause = metrics.DropDeadlineExceeded
+			if servingFPS <= 0 {
+				out.ShedCause = metrics.DropNoHealthyBoard
+			}
+		}
+	}
+	return out
+}

@@ -144,6 +144,63 @@ func Scenario12() Scenario {
 	}
 }
 
+// Load is one stream's (or one group of identical streams') contribution
+// to a composite scenario: Streams cameras each sustaining FPS frames per
+// second, fluctuating by ±Deviation redrawn every Interval seconds. It is
+// the per-stream unit the cluster scheduler composes pool workloads from.
+type Load struct {
+	Streams   int
+	FPS       float64
+	Deviation float64 // fraction in [0,1]; 0 = steady
+	Interval  float64 // seconds between redraws; 0 = 5 s default
+}
+
+// Compose builds the aggregate Scenario serving a heterogeneous set of
+// per-stream loads for duration seconds: the device count is the total
+// stream count, the per-device rate is chosen so the scenario's base rate
+// is exactly the summed load, the phase deviation is the rate-weighted
+// mean of the loads' deviations, and the redraw interval is the tightest
+// of the loads'. An empty or zero-rate load set is an error — a pool with
+// no streams placed on it has no scenario to run.
+func Compose(name string, duration float64, loads []Load) (Scenario, error) {
+	var streams int
+	var rate, wdev float64
+	interval := 0.0
+	for i, l := range loads {
+		switch {
+		case l.Streams <= 0:
+			return Scenario{}, fmt.Errorf("edge: load %d has non-positive stream count %d", i, l.Streams)
+		case l.FPS <= 0:
+			return Scenario{}, fmt.Errorf("edge: load %d has non-positive rate %v", i, l.FPS)
+		case l.Deviation < 0 || l.Deviation > 1:
+			return Scenario{}, fmt.Errorf("edge: load %d deviation %v outside [0,1]", i, l.Deviation)
+		case l.Interval < 0:
+			return Scenario{}, fmt.Errorf("edge: load %d interval %v negative", i, l.Interval)
+		}
+		r := float64(l.Streams) * l.FPS
+		streams += l.Streams
+		rate += r
+		wdev += r * l.Deviation
+		iv := l.Interval
+		if iv == 0 {
+			iv = 5
+		}
+		if interval == 0 || iv < interval {
+			interval = iv
+		}
+	}
+	if streams == 0 || rate <= 0 {
+		return Scenario{}, fmt.Errorf("edge: composite scenario %q has no load", name)
+	}
+	return Scenario{
+		Name:         name,
+		Duration:     duration,
+		Devices:      streams,
+		PerDeviceFPS: rate / float64(streams),
+		Phases:       []Phase{{Start: 0, Deviation: wdev / rate, Interval: interval}},
+	}, nil
+}
+
 // Workload generates the piecewise-constant incoming rate of a scenario
 // run. Rates are redrawn at phase-interval boundaries (and device counts
 // at churn ticks) with the given RNG.

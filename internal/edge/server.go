@@ -375,48 +375,24 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 			avail := 1 - stalled
 			capacity := serving.FPS * dt * avail
 
-			queue += arrived
-			processed := capacity
-			if processed > queue {
-				processed = queue
-			}
-			queue -= processed
-			dropped := 0.0
-			var overflow, shed float64
-			if queue > cfg.QueueFrames {
-				overflow = queue - cfg.QueueFrames
-				queue = cfg.QueueFrames
-				dropped += overflow
-				cause := metrics.DropQueueFull
-				if serving.FPS <= 0 {
-					cause = metrics.DropNoHealthyBoard
-				} else if stalled > 0 {
-					cause = metrics.DropReconfigStall
-				}
-				acc.Drops.Add(cause, overflow)
+			// Admission control for this step lives in admitStep (shared
+			// policy kernel; admission_test.go pins its semantics).
+			out := admitStep(queue, arrived, capacity, cfg.QueueFrames, cfg.Deadline, serving.FPS, stalled > 0)
+			queue = out.Queue
+			processed := out.Processed
+			dropped := out.Dropped()
+			if out.Overflow > 0 {
+				acc.Drops.Add(out.OverflowCause, out.Overflow)
 				if traced {
 					tr.Emit(now, obs.EdgeCat, "drop",
-						obs.F("frames", overflow), obs.S("cause", cause.String()))
+						obs.F("frames", out.Overflow), obs.S("cause", out.OverflowCause.String()))
 				}
 			}
-			if cfg.Deadline > 0 {
-				// Deadline-aware shedding: any backlog deeper than the
-				// frames the server can clear within the deadline would be
-				// served stale, so it is shed now with an explicit cause.
-				lim := serving.FPS * cfg.Deadline
-				if queue > lim {
-					shed = queue - lim
-					queue = lim
-					dropped += shed
-					cause := metrics.DropDeadlineExceeded
-					if serving.FPS <= 0 {
-						cause = metrics.DropNoHealthyBoard
-					}
-					acc.Drops.Add(cause, shed)
-					if traced {
-						tr.Emit(now, obs.EdgeCat, "drop",
-							obs.F("frames", shed), obs.S("cause", cause.String()))
-					}
+			if out.Shed > 0 {
+				acc.Drops.Add(out.ShedCause, out.Shed)
+				if traced {
+					tr.Emit(now, obs.EdgeCat, "drop",
+						obs.F("frames", out.Shed), obs.S("cause", out.ShedCause.String()))
 				}
 			}
 

@@ -333,23 +333,26 @@ func parseKind(name string) (Kind, error) {
 	}
 	known := append([]string(nil), kindNames[:]...)
 	sort.Strings(known)
-	hint := ""
-	if best, d := closestKind(name); d <= 1+len(name)/3 {
-		hint = fmt.Sprintf(" (did you mean %q?)", best)
-	}
-	return 0, fmt.Errorf("fault: unknown kind %q%s (known: %s)", name, hint, strings.Join(known, ", "))
+	return 0, fmt.Errorf("fault: unknown kind %q%s (known: %s)",
+		name, DidYouMean(name, kindNames[:]), strings.Join(known, ", "))
 }
 
-// closestKind returns the known kind name nearest to name by edit
-// distance, for the did-you-mean hint.
-func closestKind(name string) (string, int) {
+// DidYouMean returns a ` (did you mean %q?)` hint when name is a close
+// edit-distance miss of one of the known spellings, and "" otherwise. It
+// is shared by every grammar in the repo that hard-errors on unknown
+// identifiers (fault kinds, cluster stream-spec keys and classes), so
+// near-miss diagnostics read the same everywhere.
+func DidYouMean(name string, known []string) string {
 	best, bestD := "", int(^uint(0)>>1)
-	for _, n := range kindNames {
+	for _, n := range known {
 		if d := editDistance(strings.ToLower(name), n); d < bestD {
 			best, bestD = n, d
 		}
 	}
-	return best, bestD
+	if best != "" && bestD <= 1+len(name)/3 {
+		return fmt.Sprintf(" (did you mean %q?)", best)
+	}
+	return ""
 }
 
 // editDistance is the Levenshtein distance between two ASCII strings.

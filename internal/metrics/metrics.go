@@ -92,6 +92,81 @@ func (d DropStats) Total() float64 {
 	return d.QueueFull + d.DeadlineExceeded + d.NoHealthyBoard + d.ReconfigStall
 }
 
+// ClusterDropCause classifies why the cluster scheduler shed frames that
+// never reached a pool's admission queue. The pool-level causes
+// (DropCause) keep their meaning inside each pool's serving loop; these
+// three exist only above it.
+type ClusterDropCause int
+
+// Cluster drop causes. NoPoolCapacity: the stream could not be placed on
+// any pool with effective headroom (its arrivals are shed until a
+// rebalance finds room). TenantThrottled: cluster-wide admission control
+// denied the stream because its tenant's demand exceeded the admissible
+// share (lowest priority classes are throttled first). Migrating: frames
+// that arrived during a stream's migration blackout between pools.
+const (
+	ClusterNoPoolCapacity ClusterDropCause = iota
+	ClusterTenantThrottled
+	ClusterMigrating
+	numClusterDropCauses
+)
+
+var clusterDropCauseNames = [numClusterDropCauses]string{
+	ClusterNoPoolCapacity:  "no-pool-capacity",
+	ClusterTenantThrottled: "tenant-throttled",
+	ClusterMigrating:       "migrating",
+}
+
+// String names the cause (the spelling used in trace events).
+func (c ClusterDropCause) String() string {
+	if c < 0 || c >= numClusterDropCauses {
+		return fmt.Sprintf("metrics.ClusterDropCause(%d)", int(c))
+	}
+	return clusterDropCauseNames[c]
+}
+
+// ClusterDrops partitions a cluster run's dropped frames by cause: the
+// pool-level admission causes rolled up across the fleet, plus the three
+// cluster-only causes. Total always equals the cluster run's Dropped
+// counter — every shed frame carries exactly one cause, at exactly one
+// level.
+type ClusterDrops struct {
+	// Pool rolls up the per-pool admission shedding (queue-full,
+	// deadline-exceeded, no-healthy-board, reconfig-stall) across every
+	// pool and epoch.
+	Pool DropStats
+	// NoPoolCapacity, TenantThrottled, Migrating are the cluster-level
+	// causes (see ClusterDropCause).
+	NoPoolCapacity  float64
+	TenantThrottled float64
+	Migrating       float64
+}
+
+// Add records frames shed for one cluster-level cause.
+func (d *ClusterDrops) Add(c ClusterDropCause, frames float64) {
+	switch c {
+	case ClusterTenantThrottled:
+		d.TenantThrottled += frames
+	case ClusterMigrating:
+		d.Migrating += frames
+	default:
+		d.NoPoolCapacity += frames
+	}
+}
+
+// AddPool rolls one pool run's per-cause shedding into the cluster total.
+func (d *ClusterDrops) AddPool(p DropStats) {
+	d.Pool.QueueFull += p.QueueFull
+	d.Pool.DeadlineExceeded += p.DeadlineExceeded
+	d.Pool.NoHealthyBoard += p.NoHealthyBoard
+	d.Pool.ReconfigStall += p.ReconfigStall
+}
+
+// Total sums the shed frames across every cause, both levels.
+func (d ClusterDrops) Total() float64 {
+	return d.Pool.Total() + d.NoPoolCapacity + d.TenantThrottled + d.Migrating
+}
+
 // PoolStats counts fleet-level robustness actions of a supervised
 // multi-board pool (all zero for single-board runs).
 type PoolStats struct {

@@ -225,6 +225,68 @@ func (p *Pool) State(i int) BoardState { return p.boards[i].state }
 // serving with a relaxed accuracy threshold.
 func (p *Pool) Degraded() bool { return p.degraded }
 
+// EffectiveCapacity reports the pool's health-weighted serving capacity in
+// FPS at time now: the sum of every serving board's currently-effective
+// rate — zero while dead, recovering, hung, or mid-reconfiguration,
+// derated while browned out. A board that has not decided yet (no cached
+// rate) weighs in at fallback, the caller's nominal per-board estimate.
+// The cluster placer scores pools with this, so placement reuses the same
+// capacity model the dispatcher already serves by.
+func (p *Pool) EffectiveCapacity(now, fallback float64) float64 {
+	total := 0.0
+	for _, b := range p.boards {
+		if !b.serving || (b.state != Healthy && b.state != Suspect) {
+			continue
+		}
+		if now < b.hangUntil || now < b.stallUntil {
+			continue
+		}
+		f := b.fps
+		if f <= 0 {
+			f = fallback
+		}
+		if now < b.brownoutUntil {
+			f *= b.brownoutFactor
+		}
+		total += f
+	}
+	return total
+}
+
+// Responsive counts serving boards that are currently answering
+// heartbeats (healthy or suspect, not hung).
+func (p *Pool) Responsive(now float64) int {
+	n := 0
+	for _, b := range p.boards {
+		if b.serving && (b.state == Healthy || b.state == Suspect) && now >= b.hangUntil {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebase shifts every board timer dt seconds earlier, clamped at zero.
+// The cluster scheduler serves a pool through a sequence of epoch-local
+// edge.Run windows; calling Rebase(epochSeconds) between windows keeps a
+// board's remaining repair/hang/brownout/corruption/stall time continuous
+// across the boundary, so a board crashed with 8 s of repair left in one
+// epoch comes back 8 s into the next.
+func (p *Pool) Rebase(dt float64) {
+	clamp := func(t float64) float64 {
+		if t <= dt {
+			return 0
+		}
+		return t - dt
+	}
+	for _, b := range p.boards {
+		b.hangUntil = clamp(b.hangUntil)
+		b.repairUntil = clamp(b.repairUntil)
+		b.brownoutUntil = clamp(b.brownoutUntil)
+		b.corruptUntil = clamp(b.corruptUntil)
+		b.stallUntil = clamp(b.stallUntil)
+	}
+}
+
 // PoolStats implements edge.PoolStatsReporter.
 func (p *Pool) PoolStats() metrics.PoolStats { return p.stats }
 

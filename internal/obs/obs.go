@@ -50,6 +50,11 @@ const (
 	// PoolCat: multi-board pool supervision (board health transitions,
 	// failover and standby-promotion decisions, degraded-mode changes).
 	PoolCat
+	// ClusterCat: cluster scheduler decisions (stream placement,
+	// migration, tenant throttling, epoch summaries). Emitted only from
+	// the scheduler's serial control loop, so cluster-category streams
+	// are byte-identical at any dispatch worker count.
+	ClusterCat
 	numCategories
 )
 
@@ -59,6 +64,7 @@ var categoryNames = [numCategories]string{
 	ManagerCat: "manager",
 	FaultCat:   "fault",
 	PoolCat:    "pool",
+	ClusterCat: "cluster",
 }
 
 // String names the category.

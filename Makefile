@@ -42,7 +42,7 @@ test-chaos:
 	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
 
 # Tracked benchmark baseline: key design-time and substrate benchmarks,
-# recorded to BENCH_PR7.json for regression diffing.
+# recorded to BENCH_PR8.json for regression diffing.
 bench:
 	./scripts/bench.sh
 

@@ -7,6 +7,7 @@ package adaflow
 // the paper's result set; cmd/adaflow-repro prints the full tables.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -639,33 +640,55 @@ func BenchmarkEdgeScenarioRun(b *testing.B) {
 	}
 }
 
-// BenchmarkRunEdge measures the facade RunEdge hot path — AdaFlow
-// controller, Runtime Manager decisions, full 25 s scenario — with tracing
-// off. It is the disabled-tracer overhead guard: scripts/verify.sh
-// compares it against the BENCH_PR3.json baseline, so instrumentation
-// added to the serving loop must stay free when no tracer is attached.
+// BenchmarkRunEdge measures the serving hot path — AdaFlow controller,
+// Runtime Manager decisions, full 25 s scenario — with tracing off. The
+// fluid variant is the historical disabled-tracer overhead guard:
+// scripts/verify.sh compares it against the committed baseline, so
+// instrumentation added to the serving loop must stay free when no tracer
+// is attached. The batch=N variants run the event-level simulator (every
+// frame is an event) under a deadline; batch=1 is per-frame dispatch and
+// batch=8 amortizes the per-dispatch fixed costs — service completions,
+// their engine events, and the controller bookkeeping — over eight
+// frames, which is the allocs/op win the baseline tracks.
 func BenchmarkRunEdge(b *testing.B) {
 	p := experiments.Pairs[0]
 	lib, err := experiments.Lib(p)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	newCtl := func(b *testing.B) Controller {
 		mgr, err := NewRuntimeManager(lib, DefaultManagerConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := RunEdge(Scenario2(), NewAdaFlowController(mgr), SimConfig{Seed: int64(i)}); err != nil {
-			b.Fatal(err)
+		return NewAdaFlowController(mgr)
+	}
+	b.Run("fluid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunEdge(Scenario2(), newCtl(b), SimConfig{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	for _, batch := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunEdgeEventLevel(Scenario2(), newCtl(b), SimConfig{
+					Seed: int64(i), Deadline: 0.1, Batch: batch,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkPoolRun measures the supervised multi-board pool over the full
 // hybrid scenario. The healthy variant runs with no fault rules and is the
 // supervision overhead guard: scripts/verify.sh compares it against the
-// BENCH_PR3.json baseline via benchjson -check, so heartbeats and health
+// BENCH_PR8.json baseline via benchjson -check, so heartbeats and health
 // bookkeeping must stay nearly free when no faults fire. The one-dead
 // variant crashes a board mid-run and exercises detection, failover, and
 // capacity redistribution.
@@ -697,12 +720,29 @@ func BenchmarkPoolRun(b *testing.B) {
 		}
 		run(b, plan)
 	})
+	// The batched variant puts an 8-frame dispatch queue in front of each
+	// board (PoolConfig.Batch); the per-board analytic queues ride the
+	// existing heartbeats, so this doubles as the batching overhead guard.
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pool, err := NewSupervisedPool(lib, PoolConfig{
+				Boards: 4, Manager: DefaultManagerConfig(), Batch: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := RunEdge(Scenario12(), pool, SimConfig{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkClusterRun measures the fleet scheduler end to end: 1000
 // camera streams sharded across 8 supervised pools for the default 5
 // epochs. The healthy variant is the cluster-control overhead guard —
-// scripts/verify.sh compares it against the BENCH_PR7.json baseline via
+// scripts/verify.sh compares it against the BENCH_PR8.json baseline via
 // benchjson -check, so placement, rebalancing, and aggregation must stay
 // cheap relative to the serving work they orchestrate. The one-pool-dead
 // variant crashes all of pool 0's boards mid-run and exercises

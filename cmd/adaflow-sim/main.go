@@ -9,6 +9,7 @@
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
 //	            [-reconfig-ms 145] [-csv]
 //	            [-boards 4] [-standby 1] [-queue-depth 16] [-deadline 0.05]
+//	            [-batch 8] [-batch-flush-slack 0.005]
 //	            [-trace out.jsonl] [-trace-sample 25] [-metrics-snapshot]
 //	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
 //	            [-streams 1000] [-pools 8] [-epochs 5] [-epoch-seconds 5]
@@ -23,6 +24,13 @@
 // -deadline (seconds) sheds frames that cannot be served in time; every
 // shed frame carries a cause (queue-full, deadline-exceeded,
 // no-healthy-board, reconfig-stall).
+//
+// -batch N serves up to N frames per dispatch so per-dispatch fixed costs
+// amortize over the batch; a batch is cut short before it would push its
+// oldest frame past -deadline, with -batch-flush-slack seconds of margin
+// reserved (default one frame time). For -controller pool and cluster the
+// batch queue sits in front of each board. -batch 1 (or 0) is exactly the
+// historical single-frame serving.
 //
 // -controller cluster shards -streams camera streams (or an explicit
 // -stream-spec declaration) across -pools supervised pools of -boards
@@ -76,6 +84,8 @@ func main() {
 	standby := flag.Int("standby", 0, "hot standby boards for -controller pool")
 	queueDepth := flag.Float64("queue-depth", 0, "admission queue bound in frames (0 = default 16)")
 	deadline := flag.Float64("deadline", 0, "admission deadline in seconds (0 = no deadline shedding)")
+	batch := flag.Int("batch", 0, "micro-batch size: frames served per dispatch (<= 1 keeps single-frame serving)")
+	batchSlack := flag.Float64("batch-flush-slack", 0, "deadline slack in seconds reserved when sizing a batch (0 = one frame time)")
 	csv := flag.Bool("csv", false, "print per-step trace CSV (single run)")
 	traceFile := flag.String("trace", "", "write a JSONL event/decision trace to this file")
 	traceSample := flag.Int("trace-sample", 25, "keep every nth hot-path trace event (decision events are never sampled)")
@@ -159,6 +169,7 @@ func main() {
 			cfg.CriteriaMultiple = *criteria
 			return multiedge.NewSupervisedPool(lib, multiedge.Config{
 				Boards: *boards, Standby: *standby, Manager: cfg,
+				Batch: *batch, BatchFlushSlack: *batchSlack,
 			})
 		default:
 			return nil, fmt.Errorf("unknown controller %q", *controller)
@@ -225,6 +236,7 @@ func main() {
 			TenantShare: *tenantShare, Seed: *seed,
 			FaultPlan: plan, FaultPools: fp, FaultSeed: *faultSeed,
 			QueueFrames: *queueDepth, Deadline: *deadline, Manager: mcfg,
+			Batch: *batch, BatchFlushSlack: *batchSlack,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -249,6 +261,7 @@ func main() {
 		res, err := edge.Run(scn, ctl, edge.SimConfig{
 			Seed: *seed, RecordTrace: *csv, FaultPlan: plan, FaultSeed: *faultSeed,
 			QueueFrames: *queueDepth, Deadline: *deadline,
+			Batch: *batch, BatchFlushSlack: *batchSlack,
 		}, opts...)
 		if err != nil {
 			log.Fatal(err)
@@ -257,6 +270,7 @@ func main() {
 			res.RunStats.AvgPowerW, res.RunStats.PowerEff, res.RunStats.Switches, res.RunStats.Reconfigs)
 		printFaults(plan, res.RunStats.Faults, res.FaultEvents)
 		printPool(res.RunStats)
+		printBatch(res.RunStats.Batch)
 		for _, ev := range res.Switches {
 			kind := "fast"
 			if ev.Reconfigured {
@@ -278,6 +292,7 @@ func main() {
 	mean, runsOut, err := edge.RunRepeated(scn, mk, *runs, *seed, edge.SimConfig{
 		FaultPlan: plan, FaultSeed: *faultSeed,
 		QueueFrames: *queueDepth, Deadline: *deadline,
+		Batch: *batch, BatchFlushSlack: *batchSlack,
 	}, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -287,6 +302,7 @@ func main() {
 		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
 	printFaults(plan, mean.Faults, nil)
 	printPool(mean)
+	printBatch(mean.Batch)
 	finishTrace()
 }
 
@@ -304,6 +320,7 @@ func printCluster(res *cluster.Result) {
 	}
 	fmt.Printf("rebalance: %d migrations, %d throttled stream-epochs, %d unplaced stream-epochs\n",
 		res.Migrations, res.Throttled, res.Unplaced)
+	printBatch(res.Batch)
 	p := res.Pool
 	if p.BoardsDied+p.BoardsRecovered+p.Failovers+p.StandbyPromotions+p.DegradedEntries > 0 {
 		fmt.Printf("fleet: %d boards died, %d recovered, %d failovers, %d promotions, %d degraded entries\n",
@@ -323,6 +340,16 @@ func printCluster(res *cluster.Result) {
 		fmt.Printf("tenant %-8s %-6s %4d streams, %5.2f%% loss (%.0f of %.0f frames)\n",
 			name, t.Class, t.Streams, loss, t.Dropped, t.Arrived)
 	}
+}
+
+// printBatch summarizes micro-batched dispatch; silent unless batching
+// was enabled and at least one batch flushed.
+func printBatch(s metrics.BatchStats) {
+	if s.Batches == 0 {
+		return
+	}
+	fmt.Printf("batching: %.0f batches, mean %.2f frames, max %.0f (%.0f full, %.0f deadline-slack, %.0f idle flushes)\n",
+		s.Batches, s.MeanBatch(), s.MaxBatch, s.FullFlushes, s.SlackFlushes, s.IdleFlushes)
 }
 
 // printPool summarizes admission-control shedding (by cause) and pool

@@ -7,6 +7,7 @@
 //	go test -bench=. -benchmem ./... | benchjson [-o out.json]
 //	benchjson [-o out.json] bench-output.txt
 //	benchjson -check -baseline BENCH_PR3.json [-tol 0.25] bench-output.txt
+//	benchjson -compare BENCH_PR7.json BENCH_PR8.json
 //
 // Standard columns (ns/op, B/op, allocs/op) and custom b.ReportMetric
 // units are all captured; the trailing -N GOMAXPROCS suffix is stripped
@@ -17,6 +18,11 @@
 // ns/op by more than the -tol fraction, or the command exits nonzero.
 // scripts/verify.sh uses this to guard the disabled-tracer overhead of
 // the serving hot path (BenchmarkRunEdge).
+//
+// With -compare, the two positional arguments are committed baseline
+// JSON files (old then new) and the output is a per-benchmark delta
+// table over every metric the two have in common — how PR-over-PR
+// baselines are read side by side without re-running anything.
 package main
 
 import (
@@ -49,7 +55,24 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file (required with -check)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression with -check")
 	note := flag.String("note", "", "embed this string as a _note key in the output JSON")
+	compare := flag.Bool("compare", false, "diff two committed baseline JSON files: benchjson -compare OLD NEW")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare takes exactly two baseline files: OLD NEW")
+		}
+		old, err := loadBaseline(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := loadBaseline(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(CompareBaselines(old, cur))
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() == 1 {
@@ -115,6 +138,20 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadBaseline opens and decodes one committed baseline file.
+func loadBaseline(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base, err := decodeBaseline(f)
+	if err != nil {
+		return nil, fmt.Errorf("bad baseline %s: %v", path, err)
+	}
+	return base, nil
 }
 
 // decodeBaseline reads a baseline JSON map, skipping annotation keys that
@@ -208,6 +245,62 @@ func Check(got, base map[string]Result, tol float64) (report string, failed bool
 		b.WriteString("no overlapping benchmarks to compare\n")
 	}
 	return b.String(), failed
+}
+
+// CompareBaselines renders a per-benchmark delta table between two
+// committed baselines. Benchmarks present in both are diffed metric by
+// metric (ns/op, B/op, allocs/op and any custom units they share);
+// benchmarks present in only one side are listed so added or retired
+// entries don't disappear silently from the comparison.
+func CompareBaselines(old, cur map[string]Result) string {
+	var b strings.Builder
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s\n", name)
+		om, cm := old[name].Metrics, cur[name].Metrics
+		units := make([]string, 0, len(cm))
+		for unit := range cm {
+			if _, ok := om[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, cv := om[unit], cm[unit]
+			switch {
+			case ov == cv:
+				fmt.Fprintf(&b, "  %-14s %14.4g (unchanged)\n", unit, cv)
+			case ov == 0:
+				fmt.Fprintf(&b, "  %-14s %14.4g -> %14.4g\n", unit, ov, cv)
+			default:
+				fmt.Fprintf(&b, "  %-14s %14.4g -> %14.4g (%+.1f%%)\n", unit, ov, cv, (cv/ov-1)*100)
+			}
+		}
+	}
+	only := func(label string, a, ref map[string]Result) {
+		var missing []string
+		for name := range a {
+			if _, ok := ref[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			fmt.Fprintf(&b, "%s %s\n", label, name)
+		}
+	}
+	only("only in old:", old, cur)
+	only("only in new:", cur, old)
+	if len(names) == 0 {
+		b.WriteString("no overlapping benchmarks to compare\n")
+	}
+	return b.String()
 }
 
 // parseMetrics splits the tail of a benchmark line into unit -> value.

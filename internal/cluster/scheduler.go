@@ -71,6 +71,13 @@ type Config struct {
 	Step        float64
 	QueueFrames float64
 	Deadline    float64
+	// Batch and BatchFlushSlack enable micro-batched service on every
+	// pool (see edge.SimConfig.Batch): they configure the pools'
+	// per-board dispatch queues, whose counters each epoch's edge.Run
+	// drains into its result. Batch <= 1 keeps the historical
+	// single-frame serving bit-identical.
+	Batch           int
+	BatchFlushSlack float64
 	// Manager configures every board's Runtime Manager.
 	Manager manager.Config
 	// Workers caps concurrent pool runs for this scheduler (0 = the
@@ -153,7 +160,10 @@ type Result struct {
 	Throttled  int
 	Unplaced   int
 	// Pool sums supervision counters across the fleet.
-	Pool    metrics.PoolStats
+	Pool metrics.PoolStats
+	// Batch sums the pools' per-board micro-batched dispatch counters
+	// across every epoch (zero when Config.Batch <= 1).
+	Batch   metrics.BatchStats
 	Tenants map[string]*TenantStats
 	Reports []EpochReport
 }
@@ -164,9 +174,54 @@ type Scheduler struct {
 	lib     *library.Library
 	cfg     Config
 	ordered []StreamSpec // placement order
+	nameIdx map[string]StreamSpec
 	pools   []*multiedge.Pool
 	nominal float64 // per-board capacity estimate for unscored boards
 	trace   *obs.Trace
+	scr     epochScratch
+}
+
+// epochScratch holds buffers the serial control loop (placeEpoch,
+// dispatch, aggregate) reuses across epochs, so steady-state scheduling
+// allocates per retained result, not per epoch. Everything here is either
+// copied before being retained in an EpochReport or dead once the epoch's
+// aggregation completes.
+type epochScratch struct {
+	caps     []float64
+	load     []float64
+	rem      []float64 // placer remaining-capacity buffer
+	keptIdx  [][]int
+	loose    []int
+	kept     map[string]int
+	byPool   [][]StreamSpec
+	blackout map[string]bool
+	results  []*edge.Result
+	loads    [][]edge.Load
+}
+
+// reset sizes the scratch for n pools (first epoch) and clears every
+// buffer for reuse.
+func (sc *epochScratch) reset(n int) {
+	if len(sc.caps) != n {
+		sc.caps = make([]float64, n)
+		sc.load = make([]float64, n)
+		sc.rem = make([]float64, n)
+		sc.keptIdx = make([][]int, n)
+		sc.byPool = make([][]StreamSpec, n)
+		sc.results = make([]*edge.Result, n)
+		sc.loads = make([][]edge.Load, n)
+		sc.kept = make(map[string]int)
+		sc.blackout = make(map[string]bool)
+	}
+	for i := 0; i < n; i++ {
+		sc.load[i] = 0
+		sc.keptIdx[i] = sc.keptIdx[i][:0]
+		sc.byPool[i] = sc.byPool[i][:0]
+		sc.results[i] = nil
+	}
+	clear(sc.kept)
+	clear(sc.blackout)
+	sc.loose = sc.loose[:0]
 }
 
 // New builds a scheduler over a shared library. Stream names must be
@@ -201,9 +256,14 @@ func New(lib *library.Library, streams []StreamSpec, cfg Config) (*Scheduler, er
 		}
 	}
 	s := &Scheduler{lib: lib, cfg: cfg, ordered: orderStreams(specs)}
+	s.nameIdx = make(map[string]StreamSpec, len(s.ordered))
+	for _, st := range s.ordered {
+		s.nameIdx[st.Name] = st
+	}
 	for i := 0; i < cfg.Pools; i++ {
 		p, err := multiedge.NewSupervisedPool(lib, multiedge.Config{
 			Boards: cfg.BoardsPerPool, Standby: cfg.Standby, Manager: cfg.Manager,
+			Batch: cfg.Batch, BatchFlushSlack: cfg.BatchFlushSlack,
 		})
 		if err != nil {
 			return nil, err
@@ -315,7 +375,8 @@ func (s *Scheduler) usableCapacity(i int) float64 {
 func (s *Scheduler) placeEpoch(e int, assigned map[string]int) *epochPlan {
 	n := s.cfg.Pools
 	now := float64(e) * s.cfg.EpochSeconds
-	caps := make([]float64, n)
+	s.scr.reset(n)
+	caps := s.scr.caps
 	clusterCap := 0.0
 	for i := range caps {
 		caps[i] = s.usableCapacity(i)
@@ -328,12 +389,11 @@ func (s *Scheduler) placeEpoch(e int, assigned map[string]int) *epochPlan {
 	// quorum-degraded nor over-committed against its rescored capacity.
 	// Over-committed pools evict lowest-priority (then largest) streams
 	// until they fit; evicted streams re-place worst-fit below.
-	pl := newPlacer(caps)
-	kept := make(map[string]int, len(admitted))
-	var keptIdx [][]int // per pool, indices into admitted
-	keptIdx = make([][]int, n)
-	load := make([]float64, n)
-	var loose []int // admitted indices needing placement
+	pl := &placer{rem: append(s.scr.rem[:0], caps...)}
+	kept := s.scr.kept
+	keptIdx := s.scr.keptIdx // per pool, indices into admitted
+	load := s.scr.load
+	loose := s.scr.loose // admitted indices needing placement
 	for idx, st := range admitted {
 		p, was := assigned[st.Name]
 		if was && !s.pools[p].Degraded() && s.pools[p].Responsive(0) > 0 {
@@ -361,14 +421,15 @@ func (s *Scheduler) placeEpoch(e int, assigned map[string]int) *epochPlan {
 	// Loose streams (new, evicted, previously shed, or on broken pools)
 	// place worst-fit in deterministic placement order.
 	sort.Ints(loose)
+	s.scr.loose = loose
 
 	rep := EpochReport{
 		Epoch:    e,
-		Capacity: caps,
+		Capacity: append([]float64(nil), caps...), // retained in Reports; caps is scratch
 		Assigned: make([]float64, n),
 		Placed:   make(map[string]int, len(admitted)),
 	}
-	plan := &epochPlan{rep: rep, byPool: make([][]StreamSpec, n), blackout: make(map[string]bool)}
+	plan := &epochPlan{rep: rep, byPool: s.scr.byPool, blackout: s.scr.blackout}
 	tr := s.trace
 	traced := tr.Enabled()
 
@@ -440,18 +501,20 @@ func (s *Scheduler) placeEpoch(e int, assigned map[string]int) *epochPlan {
 // pool heals on schedule even while it holds no streams.
 func (s *Scheduler) dispatch(e int, plan *epochPlan) ([]*edge.Result, error) {
 	n := s.cfg.Pools
-	results := make([]*edge.Result, n)
+	results := s.scr.results
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = MaxWorkers()
 	}
 	E := s.cfg.EpochSeconds
+	// Workers touch only their own pool index in the scratch, so the
+	// per-epoch buffers are race-free without locks.
 	err := parallel.ForEachErr(n, workers, func(i int) error {
 		streams := plan.byPool[i]
 		if len(streams) == 0 {
 			return s.idleEpoch(i, e)
 		}
-		loads := make([]edge.Load, 0, len(streams))
+		loads := s.scr.loads[i][:0]
 		deadline := s.cfg.Deadline
 		for _, st := range streams {
 			rate := st.Rate
@@ -465,10 +528,15 @@ func (s *Scheduler) dispatch(e int, plan *epochPlan) ([]*edge.Result, error) {
 				deadline = st.SLO
 			}
 		}
+		s.scr.loads[i] = loads
 		scn, err := edge.Compose(fmt.Sprintf("pool%d/epoch%d", i, e), E, loads)
 		if err != nil {
 			return err
 		}
+		// Batching is configured on the pools themselves (per-board dispatch
+		// queues), not on the epoch runs: the pool owns batch accounting and
+		// edge.Run drains it, so setting SimConfig.Batch here would count
+		// every frame twice.
 		res, err := edge.Run(scn, s.pools[i], edge.SimConfig{
 			Step:        s.cfg.Step,
 			QueueFrames: s.cfg.QueueFrames,
@@ -537,7 +605,7 @@ func (r *Result) tenantOf(st StreamSpec) *TenantStats {
 // thus every floating-point sum — is deterministic.
 func (s *Scheduler) aggregate(e int, plan *epochPlan, runs []*edge.Result, res *Result) {
 	E := s.cfg.EpochSeconds
-	byName := s.byName()
+	byName := s.nameIdx
 	for i, r := range runs {
 		if r == nil {
 			continue
@@ -546,6 +614,7 @@ func (s *Scheduler) aggregate(e int, plan *epochPlan, runs []*edge.Result, res *
 		res.Processed += r.Processed
 		res.Dropped += r.Dropped
 		res.Drops.AddPool(r.Drops)
+		res.Batch.Merge(r.Batch)
 		// Attribute the pool's frames to tenants by placed-rate share.
 		total := 0.0
 		for _, st := range plan.byPool[i] {
@@ -584,15 +653,6 @@ func (s *Scheduler) aggregate(e int, plan *epochPlan, runs []*edge.Result, res *
 	res.Throttled += len(plan.rep.Throttled)
 	res.Unplaced += len(plan.rep.Unplaced)
 	res.Reports = append(res.Reports, plan.rep)
-}
-
-// byName indexes the stream set.
-func (s *Scheduler) byName() map[string]StreamSpec {
-	m := make(map[string]StreamSpec, len(s.ordered))
-	for _, st := range s.ordered {
-		m[st.Name] = st
-	}
-	return m
 }
 
 // Run executes the configured number of epochs and returns the cluster

@@ -256,9 +256,17 @@ func (w *Workload) Redraw(t float64) float64 {
 // NextBoundary returns the next redraw time strictly after t.
 func (w *Workload) NextBoundary(t float64) float64 {
 	p := w.scn.phaseAt(t)
-	// Align to the phase's interval grid from its start.
+	// Align to the phase's interval grid from its start. When the grid is
+	// float-adverse (intervals with no exact binary representation),
+	// rounding can land the computed tick exactly on t; returning t would
+	// let the run reschedule a redraw at the current time forever, so
+	// advance until the boundary is strictly after t as documented.
 	n := int((t-p.Start)/p.Interval) + 1
 	next := p.Start + float64(n)*p.Interval
+	for next <= t {
+		n++
+		next = p.Start + float64(n)*p.Interval
+	}
 	// A later phase may begin before the next interval tick.
 	for _, q := range w.scn.Phases {
 		if q.Start > t && q.Start < next {
@@ -268,7 +276,12 @@ func (w *Workload) NextBoundary(t float64) float64 {
 	// Churn ticks are boundaries too.
 	if c := w.scn.Churn; c != nil {
 		m := int(t/c.Interval) + 1
-		if ct := float64(m) * c.Interval; ct < next {
+		ct := float64(m) * c.Interval
+		for ct <= t {
+			m++
+			ct = float64(m) * c.Interval
+		}
+		if ct < next {
 			next = ct
 		}
 	}

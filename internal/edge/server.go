@@ -88,6 +88,17 @@ type SimConfig struct {
 	// deadline-exceeded instead of being served stale. Zero disables
 	// deadline shedding (the historical behaviour).
 	Deadline float64
+	// Batch, when > 1, enables micro-batched service: up to Batch frames
+	// are served per dispatch so per-dispatch fixed costs amortize over
+	// the batch. A batch is cut short before it would push its oldest
+	// frame past the deadline, so batching introduces no new drop causes
+	// and never misses a deadline that single-frame serving would make.
+	// Batch <= 1 keeps the historical single-frame path bit-identical.
+	Batch int
+	// BatchFlushSlack is the deadline slack, in seconds, reserved when
+	// deciding how many frames still fit in a batch (event-level runs).
+	// Zero means one frame time at the current serving rate.
+	BatchFlushSlack float64
 	// Seed drives the workload RNG.
 	Seed int64
 	// RecordTrace keeps per-step curves (off for bulk averaging).
@@ -155,6 +166,16 @@ type BoardSupervisor interface {
 // supervision counters; the run copies them into RunStats.Pool.
 type PoolStatsReporter interface {
 	PoolStats() metrics.PoolStats
+}
+
+// BatchStatsReporter is implemented by controllers that run their own
+// micro-batched dispatchers (the multiedge pool's per-board batch
+// queues). DrainBatchStats returns the counters accumulated since the
+// previous drain and resets them; the run merges the delta into
+// RunStats.Batch, so a persistent controller served through a sequence of
+// epoch-windowed runs contributes every batch exactly once.
+type BatchStatsReporter interface {
+	DrainBatchStats() metrics.BatchStats
 }
 
 func (c *SimConfig) defaults() {
@@ -350,96 +371,132 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 		scheduleBeat(1)
 	}
 
-	// Accounting steps.
+	// Accounting steps. The step body reads the current time from the
+	// engine and touches only outer state, so one hoisted closure serves
+	// every step instead of allocating duration/Step closures per run.
+	var batchCarry float64
+	// Controllers that dispatch through their own batch queues (multiedge
+	// pools) own the batch accounting; the drain below picks it up. The
+	// fluid carry models batching only for plain controllers — running
+	// both would count every frame twice.
+	_, ctlBatches := ctl.(BatchStatsReporter)
+	stepFn := func() {
+		meter.hit(modStep)
+		now := eng.Now()
+		dt := cfg.Step
+		arrived := wl.Rate() * dt
+
+		// Fraction of this step the server is stalled.
+		stalled := 0.0
+		if stallUntil > now-dt {
+			end := stallUntil
+			if end > now {
+				end = now
+			}
+			stalled = (end - (now - dt)) / dt
+			if stalled < 0 {
+				stalled = 0
+			}
+		}
+		avail := 1 - stalled
+		capacity := serving.FPS * dt * avail
+
+		// Admission control for this step lives in admitStep (shared
+		// policy kernel; admission_test.go pins its semantics).
+		out := admitStep(queue, arrived, capacity, cfg.QueueFrames, cfg.Deadline, serving.FPS, stalled > 0)
+		queue = out.Queue
+		processed := out.Processed
+		dropped := out.Dropped()
+		if out.Overflow > 0 {
+			acc.Drops.Add(out.OverflowCause, out.Overflow)
+			if traced {
+				tr.Emit(now, obs.EdgeCat, "drop",
+					obs.F("frames", out.Overflow), obs.S("cause", out.OverflowCause.String()))
+			}
+		}
+		if out.Shed > 0 {
+			acc.Drops.Add(out.ShedCause, out.Shed)
+			if traced {
+				tr.Emit(now, obs.EdgeCat, "drop",
+					obs.F("frames", out.Shed), obs.S("cause", out.ShedCause.String()))
+			}
+		}
+
+		procFPS := processed / dt
+		power := serving.PowerAt(procFPS)*avail + serving.IdlePower*stalled
+		// The accuracy evaluator may drift: the measured accuracy of
+		// this step is perturbed, the true serving accuracy is not.
+		measured := serving.Accuracy
+		if d := inj.Drift(now); d != 0 {
+			measured += d
+			if measured < 0 {
+				measured = 0
+			} else if measured > 1 {
+				measured = 1
+			}
+		}
+		acc.Add(arrived, processed, dropped, measured, power*dt, dt)
+		acc.AddQueue(queue, dt)
+		if cfg.Batch > 1 && processed > 0 && !ctlBatches {
+			// Fluid analog of the event-level micro-batcher: processed
+			// frames accumulate into a carry; every full Batch flushes
+			// batch-full, and a remainder flushes when the queue drains
+			// (idle) or under deadline pressure (deadline-slack). At
+			// Batch <= 1 nothing here runs, so historical runs replay
+			// byte-identically.
+			b := float64(cfg.Batch)
+			batchCarry += processed
+			for batchCarry >= b {
+				batchCarry -= b
+				acc.Batch.Add(b, metrics.FlushBatchFull)
+			}
+			if batchCarry > 0 {
+				if queue == 0 {
+					acc.Batch.Add(batchCarry, metrics.FlushIdle)
+					batchCarry = 0
+				} else if cfg.Deadline > 0 {
+					acc.Batch.Add(batchCarry, metrics.FlushDeadlineSlack)
+					batchCarry = 0
+				}
+			}
+			if traced {
+				tr.Hot(now, obs.EdgeCat, "batch",
+					obs.F("batches", acc.Batch.Batches),
+					obs.F("mean", acc.Batch.MeanBatch()))
+			}
+		}
+		if traced {
+			tr.Hot(now, obs.EdgeCat, "step",
+				obs.F("queue", queue),
+				obs.F("arrived", arrived),
+				obs.F("processed", processed),
+				obs.F("stalled", stalled))
+		}
+
+		if cfg.RecordTrace {
+			snap := acc.Finalize()
+			inst := 0.0
+			if arrived > 0 {
+				inst = 100 * dropped / arrived
+			}
+			res.Trace = append(res.Trace, TracePoint{
+				Time:         now,
+				IncomingFPS:  wl.Rate(),
+				ProcessedFPS: procFPS,
+				LossPct:      snap.FrameLossPct,
+				InstLossPct:  inst,
+				QoEPct:       snap.QoEPct,
+				Accuracy:     measured,
+				PowerW:       power,
+				ArrivedCum:   acc.Arrived,
+				ProcessedCum: acc.Processed,
+				DroppedCum:   acc.Dropped,
+			})
+		}
+	}
 	steps := int(scn.Duration/cfg.Step + 0.5)
 	for i := 1; i <= steps; i++ {
-		t := float64(i) * cfg.Step
-		if err := eng.Schedule(t, func() {
-			meter.hit(modStep)
-			now := eng.Now()
-			dt := cfg.Step
-			arrived := wl.Rate() * dt
-
-			// Fraction of this step the server is stalled.
-			stalled := 0.0
-			if stallUntil > now-dt {
-				end := stallUntil
-				if end > now {
-					end = now
-				}
-				stalled = (end - (now - dt)) / dt
-				if stalled < 0 {
-					stalled = 0
-				}
-			}
-			avail := 1 - stalled
-			capacity := serving.FPS * dt * avail
-
-			// Admission control for this step lives in admitStep (shared
-			// policy kernel; admission_test.go pins its semantics).
-			out := admitStep(queue, arrived, capacity, cfg.QueueFrames, cfg.Deadline, serving.FPS, stalled > 0)
-			queue = out.Queue
-			processed := out.Processed
-			dropped := out.Dropped()
-			if out.Overflow > 0 {
-				acc.Drops.Add(out.OverflowCause, out.Overflow)
-				if traced {
-					tr.Emit(now, obs.EdgeCat, "drop",
-						obs.F("frames", out.Overflow), obs.S("cause", out.OverflowCause.String()))
-				}
-			}
-			if out.Shed > 0 {
-				acc.Drops.Add(out.ShedCause, out.Shed)
-				if traced {
-					tr.Emit(now, obs.EdgeCat, "drop",
-						obs.F("frames", out.Shed), obs.S("cause", out.ShedCause.String()))
-				}
-			}
-
-			procFPS := processed / dt
-			power := serving.PowerAt(procFPS)*avail + serving.IdlePower*stalled
-			// The accuracy evaluator may drift: the measured accuracy of
-			// this step is perturbed, the true serving accuracy is not.
-			measured := serving.Accuracy
-			if d := inj.Drift(now); d != 0 {
-				measured += d
-				if measured < 0 {
-					measured = 0
-				} else if measured > 1 {
-					measured = 1
-				}
-			}
-			acc.Add(arrived, processed, dropped, measured, power*dt, dt)
-			acc.AddQueue(queue, dt)
-			if traced {
-				tr.Hot(now, obs.EdgeCat, "step",
-					obs.F("queue", queue),
-					obs.F("arrived", arrived),
-					obs.F("processed", processed),
-					obs.F("stalled", stalled))
-			}
-
-			if cfg.RecordTrace {
-				snap := acc.Finalize()
-				inst := 0.0
-				if arrived > 0 {
-					inst = 100 * dropped / arrived
-				}
-				res.Trace = append(res.Trace, TracePoint{
-					Time:         now,
-					IncomingFPS:  wl.Rate(),
-					ProcessedFPS: procFPS,
-					LossPct:      snap.FrameLossPct,
-					InstLossPct:  inst,
-					QoEPct:       snap.QoEPct,
-					Accuracy:     measured,
-					PowerW:       power,
-					ArrivedCum:   acc.Arrived,
-					ProcessedCum: acc.Processed,
-					DroppedCum:   acc.Dropped,
-				})
-			}
-		}); err != nil {
+		if err := eng.Schedule(float64(i)*cfg.Step, stepFn); err != nil {
 			return nil, err
 		}
 	}
@@ -448,6 +505,9 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 	copyFaultCounts(&acc, inj)
 	if rep, ok := ctl.(PoolStatsReporter); ok {
 		acc.Pool = rep.PoolStats()
+	}
+	if rep, ok := ctl.(BatchStatsReporter); ok {
+		acc.Batch.Merge(rep.DrainBatchStats())
 	}
 	res.RunStats = acc.Finalize()
 	if traced {

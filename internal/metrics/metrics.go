@@ -23,6 +23,7 @@ type Accumulator struct {
 	Faults      FaultStats
 	Drops       DropStats
 	Pool        PoolStats
+	Batch       BatchStats
 
 	// queue occupancy integral (frames·seconds) and peak, for latency
 	// estimates via Little's law.
@@ -185,6 +186,89 @@ type PoolStats struct {
 	DegradedEntries int
 }
 
+// FlushCause classifies why the micro-batcher dispatched a batch. Every
+// dispatched batch carries exactly one cause, mirroring the one-cause-per-
+// drop discipline of the admission taxonomy.
+type FlushCause int
+
+// Flush causes. BatchFull: the batch reached SimConfig.Batch frames.
+// DeadlineSlack: the batch was cut short so its oldest frame still meets
+// the serving deadline with the configured slack. Idle: the queue drained
+// below the batch size and the batcher served what it had rather than
+// holding frames back (low-rate streams keep single-frame latency).
+const (
+	FlushBatchFull FlushCause = iota
+	FlushDeadlineSlack
+	FlushIdle
+	numFlushCauses
+)
+
+var flushCauseNames = [numFlushCauses]string{
+	FlushBatchFull:     "batch-full",
+	FlushDeadlineSlack: "deadline-slack",
+	FlushIdle:          "idle",
+}
+
+// String names the cause (the spelling used in trace events).
+func (c FlushCause) String() string {
+	if c < 0 || c >= numFlushCauses {
+		return fmt.Sprintf("metrics.FlushCause(%d)", int(c))
+	}
+	return flushCauseNames[c]
+}
+
+// BatchStats summarizes a run's micro-batching: how many batches were
+// dispatched, how many frames they carried, the largest batch served, and
+// why each batch flushed. All zero for unbatched (Batch <= 1) runs.
+// Frames counts only batched service, so Frames <= Processed.
+type BatchStats struct {
+	Batches  float64
+	Frames   float64
+	MaxBatch float64
+	// Flush-cause counters; FullFlushes+SlackFlushes+IdleFlushes == Batches.
+	FullFlushes  float64
+	SlackFlushes float64
+	IdleFlushes  float64
+}
+
+// Add records one dispatched batch of the given size.
+func (b *BatchStats) Add(size float64, c FlushCause) {
+	b.Batches++
+	b.Frames += size
+	if size > b.MaxBatch {
+		b.MaxBatch = size
+	}
+	switch c {
+	case FlushDeadlineSlack:
+		b.SlackFlushes++
+	case FlushIdle:
+		b.IdleFlushes++
+	default:
+		b.FullFlushes++
+	}
+}
+
+// MeanBatch returns the mean dispatched batch size (0 when no batches).
+func (b BatchStats) MeanBatch() float64 {
+	if b.Batches == 0 {
+		return 0
+	}
+	return b.Frames / b.Batches
+}
+
+// Merge folds another run's batch counters into b (max of maxes, sum of
+// the rest) — used when aggregating per-board or per-pool batching.
+func (b *BatchStats) Merge(o BatchStats) {
+	b.Batches += o.Batches
+	b.Frames += o.Frames
+	if o.MaxBatch > b.MaxBatch {
+		b.MaxBatch = o.MaxBatch
+	}
+	b.FullFlushes += o.FullFlushes
+	b.SlackFlushes += o.SlackFlushes
+	b.IdleFlushes += o.IdleFlushes
+}
+
 // FaultStats counts injected faults and the degradation reactions of a
 // chaos run (all zero in fault-free runs).
 type FaultStats struct {
@@ -251,6 +335,8 @@ type RunStats struct {
 	// Pool counts fleet-level supervision actions (zero for single-board
 	// runs).
 	Pool PoolStats
+	// Batch summarizes micro-batched service (zero for Batch <= 1 runs).
+	Batch BatchStats
 	// AvgQueueFrames is the time-averaged server queue occupancy;
 	// AvgLatencyMS the implied mean queueing delay of a processed frame
 	// (Little's law: L = λ·W); MaxQueueFrames the peak occupancy.
@@ -271,6 +357,7 @@ func (a *Accumulator) Finalize() RunStats {
 		Faults:    a.Faults,
 		Drops:     a.Drops,
 		Pool:      a.Pool,
+		Batch:     a.Batch,
 	}
 	if a.Arrived > 0 {
 		s.FrameLossPct = 100 * a.Dropped / a.Arrived
@@ -324,6 +411,14 @@ func Mean(runs []RunStats) (RunStats, error) {
 		m.Drops.DeadlineExceeded += r.Drops.DeadlineExceeded / n
 		m.Drops.NoHealthyBoard += r.Drops.NoHealthyBoard / n
 		m.Drops.ReconfigStall += r.Drops.ReconfigStall / n
+		m.Batch.Batches += r.Batch.Batches / n
+		m.Batch.Frames += r.Batch.Frames / n
+		m.Batch.FullFlushes += r.Batch.FullFlushes / n
+		m.Batch.SlackFlushes += r.Batch.SlackFlushes / n
+		m.Batch.IdleFlushes += r.Batch.IdleFlushes / n
+		if r.Batch.MaxBatch > m.Batch.MaxBatch {
+			m.Batch.MaxBatch = r.Batch.MaxBatch
+		}
 		if r.MaxQueueFrames > m.MaxQueueFrames {
 			m.MaxQueueFrames = r.MaxQueueFrames
 		}

@@ -92,6 +92,16 @@ type Config struct {
 	// degraded, letting survivors pick faster, less accurate
 	// configurations instead of shedding the stream (default 0.05).
 	DegradedRelax float64
+	// Batch, when > 1, models per-board micro-batched dispatch (see
+	// edge.SimConfig.Batch): each serving board admits its assigned share
+	// of the stream into an analytic batch queue advanced on every
+	// heartbeat, and the pool reports the aggregate occupancy through
+	// DrainBatchStats. Batch <= 1 computes and emits nothing.
+	Batch int
+	// BatchFlushSlack mirrors edge.SimConfig.BatchFlushSlack for the
+	// boards' dispatchers (carried for configuration symmetry; the pool's
+	// analytic queues model occupancy, deadline cuts happen at serving).
+	BatchFlushSlack float64
 	// Manager configures each board's Runtime Manager.
 	Manager manager.Config
 }
@@ -131,6 +141,12 @@ type board struct {
 	corruptUntil   float64
 	corruptFrac    float64
 	stallUntil     float64 // mid-reconfiguration until
+
+	// Micro-batched dispatch (Config.Batch > 1): the board's last
+	// assigned share of the incoming stream and its analytic batch-queue
+	// occupancy in frames.
+	share      float64
+	batchCarry float64
 }
 
 // effFPS is the board's currently-effective capacity: zero while it is
@@ -175,6 +191,7 @@ type Pool struct {
 	boards []*board
 	trace  *obs.Trace
 	stats  metrics.PoolStats
+	batch  metrics.BatchStats
 	// baseThreshold is the user accuracy threshold; degraded mode serves
 	// at baseThreshold - DegradedRelax.
 	baseThreshold float64
@@ -374,7 +391,61 @@ func (p *Pool) Heartbeat(now float64, inj *fault.Injector) bool {
 	if p.updateDegraded(now) {
 		changed = true
 	}
+	if p.cfg.Batch > 1 {
+		p.advanceBatches(now)
+	}
 	return changed
+}
+
+// advanceBatches advances the analytic per-board batch queues by one
+// heartbeat: each serving board admits its assigned stream share into a
+// carry (capped by its effective capacity) and dispatches full batches;
+// when the share undershoots capacity the dispatcher drains what it holds
+// rather than holding frames back, so lightly-loaded boards keep
+// single-frame latency. Deadline-slack cuts are a serving-path concern
+// (edge.SimConfig.Batch); the pool models occupancy. Never called at
+// Batch <= 1, so historical runs replay byte-identically.
+func (p *Pool) advanceBatches(now float64) {
+	full := float64(p.cfg.Batch)
+	dt := p.cfg.HeartbeatEvery
+	for i, b := range p.boards {
+		eff := b.effFPS(now)
+		if eff <= 0 || b.share <= 0 {
+			continue
+		}
+		rate := b.share
+		if rate > eff {
+			rate = eff
+		}
+		b.batchCarry += rate * dt
+		var flushed float64
+		for b.batchCarry >= full {
+			b.batchCarry -= full
+			p.batch.Add(full, metrics.FlushBatchFull)
+			flushed++
+		}
+		if b.batchCarry > 0 && b.share < eff {
+			p.batch.Add(b.batchCarry, metrics.FlushIdle)
+			b.batchCarry = 0
+			flushed++
+		}
+		if flushed > 0 && p.trace.Enabled() {
+			p.trace.Hot(now, obs.PoolCat, "batch",
+				obs.I("board", i),
+				obs.F("flushes", flushed),
+				obs.F("carry", b.batchCarry))
+		}
+	}
+}
+
+// DrainBatchStats implements edge.BatchStatsReporter: it returns the
+// per-board dispatch batches accumulated since the previous drain and
+// resets the counters, so a persistent pool served through epoch-windowed
+// runs (the cluster scheduler) contributes every batch exactly once.
+func (p *Pool) DrainBatchStats() metrics.BatchStats {
+	s := p.batch
+	p.batch = metrics.BatchStats{}
+	return s
 }
 
 // applyOutcome feeds one board's drawn faults into its state machine.
@@ -597,7 +668,8 @@ func (p *Pool) React(now, incomingFPS float64) (edge.Serving, time.Duration, boo
 	switched, reconf := false, false
 	var stall time.Duration
 	for i, b := range able {
-		d, changed := b.mgr.Decide(now, incomingFPS*weights[i])
+		b.share = incomingFPS * weights[i]
+		d, changed := b.mgr.Decide(now, b.share)
 		p.apply(b, d)
 		if changed {
 			switched = true

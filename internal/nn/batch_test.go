@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Bit-identity acceptance for the micro-batched inference path:
+// ForwardBatch(B frames) must equal B sequential Forward calls exactly —
+// float and int8 paths, at 1, 2 and NumCPU workers.
+
+// testBatchNet builds a small conv→relu→pool→flatten→dense network plus a
+// batch of random inputs. Quantized when bits > 0 (per-channel conv).
+func testBatchNet(t *testing.T, bits, batch int, seed int64) (*Network, []*tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var wq *quant.WeightQuantizer
+	if bits > 0 {
+		q, err := quant.NewWeightQuantizer(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wq = q
+	}
+	conv, err := NewConv2D(ConvConfig{
+		ID:   "c1",
+		Geom: tensor.ConvGeom{InC: 3, InH: 12, InW: 12, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		OutC: 6, Bias: true, WQuant: wq, PerChannel: bits > 0, InitRNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range conv.Bias.Value.Data() {
+		conv.Bias.Value.Data()[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	pool, err := NewMaxPool2D("p1", tensor.ConvGeom{
+		InC: 6, InH: 12, InW: 12, KH: 2, KW: 2, StrideH: 2, StrideW: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewDense(DenseConfig{ID: "d1", In: 6 * 6 * 6, Out: 10, Bias: true, WQuant: wq, InitRNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(conv, NewReLU("r1"), pool, NewFlatten("f1"), dense)
+	xs := make([]*tensor.Tensor, batch)
+	for j := range xs {
+		x := tensor.New(3, 12, 12)
+		for i := range x.Data() {
+			x.Data()[i] = float32(rng.NormFloat64())
+		}
+		xs[j] = x
+	}
+	return net, xs
+}
+
+func TestForwardBatchBitIdentical(t *testing.T) {
+	prevGrain := tensor.SetParallelGrain(1)
+	defer tensor.SetParallelGrain(prevGrain)
+	for _, tc := range []struct {
+		name string
+		bits int
+		int8 bool
+	}{
+		{"float", 0, false},
+		{"quantized-float-path", 2, false},
+		{"int8", 2, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := SetInt8GEMM(tc.int8)
+			defer SetInt8GEMM(prev)
+			for _, batch := range []int{1, 3, 8} {
+				for _, workers := range []int{1, 2, runtime.NumCPU()} {
+					prevW := tensor.SetMaxWorkers(workers)
+					net, xs := testBatchNet(t, tc.bits, batch, 91)
+					// Reference: B sequential single-sample forwards.
+					want := make([]*tensor.Tensor, len(xs))
+					for j, x := range xs {
+						out, err := net.Forward(x, false)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want[j] = out
+					}
+					got, err := net.ForwardBatch(xs)
+					tensor.SetMaxWorkers(prevW)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range xs {
+						gd, wd := got[j].Data(), want[j].Data()
+						if len(gd) != len(wd) {
+							t.Fatalf("batch=%d workers=%d sample %d: length %d want %d",
+								batch, workers, j, len(gd), len(wd))
+						}
+						for i := range gd {
+							if gd[i] != wd[i] {
+								t.Fatalf("batch=%d workers=%d sample %d out[%d]: batched %v sequential %v",
+									batch, workers, j, i, gd[i], wd[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The batched path must actually take the intended kernels: int8 batch
+// forwards count as int forwards, never float fallbacks.
+func TestForwardBatchTakesInt8Path(t *testing.T) {
+	prev := SetInt8GEMM(true)
+	defer SetInt8GEMM(prev)
+	net, xs := testBatchNet(t, 2, 4, 92)
+	if _, err := net.ForwardBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	conv := net.Convs()[0]
+	dense := net.Denses()[0]
+	if conv.intForwards != 4 || conv.floatFwds != 0 {
+		t.Fatalf("conv batch: int=%d float=%d, want 4/0", conv.intForwards, conv.floatFwds)
+	}
+	if dense.intForwards != 4 || dense.floatFwds != 0 {
+		t.Fatalf("dense batch: int=%d float=%d, want 4/0", dense.intForwards, dense.floatFwds)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	net, xs := testBatchNet(t, 2, 5, 93)
+	classes, err := net.PredictBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, x := range xs {
+		want, err := net.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if classes[j] != want {
+			t.Fatalf("sample %d: batch class %d, single %d", j, classes[j], want)
+		}
+	}
+}
+
+func TestForwardBatchEmpty(t *testing.T) {
+	net, _ := testBatchNet(t, 0, 1, 94)
+	if _, err := net.ForwardBatch(nil); err == nil {
+		t.Fatal("empty batch should error")
+	}
+}
+
+// BenchmarkForwardBatch shows the per-frame amortization of batched
+// serving on the compute core (int8 path): batch=8 streams each weight
+// panel once per batch and escapes the n==1 GEMM matvec.
+func BenchmarkForwardBatch(b *testing.B) {
+	prev := SetInt8GEMM(true)
+	defer SetInt8GEMM(prev)
+	for _, batch := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(95))
+			q, err := quant.NewWeightQuantizer(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conv, err := NewConv2D(ConvConfig{
+				ID:   "c",
+				Geom: tensor.ConvGeom{InC: 16, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+				OutC: 32, Bias: true, WQuant: q, PerChannel: true, InitRNG: rng,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dense, err := NewDense(DenseConfig{ID: "d", In: 32 * 32 * 32, Out: 64, Bias: true, WQuant: q, InitRNG: rng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := NewNetwork(conv, NewReLU("r"), NewFlatten("f"), dense)
+			xs := make([]*tensor.Tensor, batch)
+			for j := range xs {
+				x := tensor.New(16, 32, 32)
+				for i := range x.Data() {
+					x.Data()[i] = float32(rng.NormFloat64())
+				}
+				xs[j] = x
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardBatch(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/frame")
+		})
+	}
+}

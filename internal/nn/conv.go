@@ -199,16 +199,7 @@ func (c *Conv2D) forwardInt8(x *tensor.Tensor, oh, ow int) (*tensor.Tensor, erro
 	if err := tensor.ConvInt8Into(out, wq, xq, c.Geom, outScales); err != nil {
 		return nil, err
 	}
-	if c.Bias != nil {
-		od := out.Data()
-		for o := 0; o < c.OutC; o++ {
-			b := c.Bias.Value.Data()[o]
-			row := od[o*oh*ow : (o+1)*oh*ow]
-			for i := range row {
-				row[i] += b
-			}
-		}
-	}
+	c.addBias(out, oh, ow)
 	c.intForwards++
 	// Match the float inference path: a no-train forward invalidates any
 	// pending Backward state.
@@ -244,16 +235,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		tensor.Release(cols)
 		return nil, err
 	}
-	if c.Bias != nil {
-		od := out.Data()
-		for o := 0; o < c.OutC; o++ {
-			b := c.Bias.Value.Data()[o]
-			row := od[o*oh*ow : (o+1)*oh*ow]
-			for i := range row {
-				row[i] += b
-			}
-		}
-	}
+	c.addBias(out, oh, ow)
 	if train {
 		c.cols = cols
 		c.qw = wm

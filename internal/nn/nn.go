@@ -4,10 +4,12 @@
 // activations), a sequential network container, and the softmax
 // cross-entropy loss.
 //
-// The engine processes one sample at a time (batching is a loop in
-// internal/train); layers cache forward state for the following backward
-// call, so a network must not be shared between goroutines without external
-// synchronization.
+// Training processes one sample at a time; inference additionally offers a
+// micro-batched path (Network.ForwardBatch) that packs B samples into one
+// GEMM call for Dense layers and streams each convolution weight panel once
+// per batch — bit-identical to B sequential Forward calls. Layers cache
+// forward state for the following backward call, so a network must not be
+// shared between goroutines without external synchronization.
 //
 // Quantization follows FINN/Brevitas conventions: weights are
 // fake-quantized on the forward pass with straight-through gradients, and

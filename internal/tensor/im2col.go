@@ -174,6 +174,88 @@ func ConvInt8Into(dst *Tensor, w *Int8Matrix, x []int8, g ConvGeom, outScales []
 	return nil
 }
 
+// ConvInt8BatchInto is the batched form of ConvInt8Into: it convolves B
+// same-geometry inputs against one weight matrix, writing each sample's
+// rescaled output into dsts[b]. The loop nest is reordered so that within
+// an output tile each weight panel is walked once per batch — the panel
+// stays cache-resident across the B samples instead of being re-streamed
+// per frame — while each sample's patch panels are still lowered one at a
+// time (peak scratch stays one panel plus B accumulator tiles per worker).
+//
+// Per sample, every output element accumulates exactly the products of
+// ConvInt8Into in the same ascending-panel order; integer accumulation is
+// exact, so each dsts[b] is bit-identical to a standalone ConvInt8Into
+// call for any worker count and batch size. outScales[b] follows the
+// outScales contract of ConvInt8Into (1 or OutC entries per sample).
+func ConvInt8BatchInto(dsts []*Tensor, w *Int8Matrix, xs [][]int8, g ConvGeom, outScales [][]float32) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	bsz := len(dsts)
+	if bsz == 0 || len(xs) != bsz || len(outScales) != bsz {
+		return fmt.Errorf("tensor: ConvInt8BatchInto wants equal non-zero dsts/xs/outScales, got %d/%d/%d",
+			len(dsts), len(xs), len(outScales))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	k := g.InC * g.KH * g.KW
+	outC := w.Rows
+	if w.Cols != k || len(w.Data) != outC*k {
+		return fmt.Errorf("tensor: ConvInt8BatchInto weights %dx%d, want %dx%d", w.Rows, w.Cols, outC, k)
+	}
+	for b := 0; b < bsz; b++ {
+		if len(xs[b]) != g.InC*g.InH*g.InW {
+			return fmt.Errorf("tensor: ConvInt8BatchInto input %d length %d does not match geometry %dx%dx%d",
+				b, len(xs[b]), g.InC, g.InH, g.InW)
+		}
+		if dsts[b].Rank() != 2 || dsts[b].shape[0] != outC || dsts[b].shape[1] != cols {
+			return fmt.Errorf("tensor: ConvInt8BatchInto dst %d %v, want %dx%d", b, dsts[b].shape, outC, cols)
+		}
+		if len(outScales[b]) != 1 && len(outScales[b]) != outC {
+			return fmt.Errorf("tensor: ConvInt8BatchInto wants 1 or %d output scales for sample %d, got %d",
+				outC, b, len(outScales[b]))
+		}
+	}
+	wd := w.Data
+	kc := min(kcPanel, k)
+	tiles := (cols + convTileCols - 1) / convTileCols
+	parallelFor(tiles, bsz*outC*k*convTileCols, func(tLo, tHi int) {
+		patch := BorrowInt8(kc * convTileCols)
+		acc := BorrowInt32(bsz * outC * convTileCols)
+		defer ReleaseInt8(patch)
+		defer ReleaseInt32(acc)
+		for t := tLo; t < tHi; t++ {
+			j0 := t * convTileCols
+			j1 := min(j0+convTileCols, cols)
+			tw := j1 - j0
+			clear(acc[:bsz*outC*tw])
+			for p0 := 0; p0 < k; p0 += kc {
+				p1 := min(p0+kc, k)
+				for b := 0; b < bsz; b++ {
+					streamPatchPanel(patch, xs[b], g, p0, p1, j0, j1, ow)
+					convInt8Panel(acc[b*outC*tw:(b+1)*outC*tw], wd, patch, outC, k, p0, p1, tw)
+				}
+			}
+			for b := 0; b < bsz; b++ {
+				od := dsts[b].data
+				scales := outScales[b]
+				bacc := acc[b*outC*tw : (b+1)*outC*tw]
+				for o := 0; o < outC; o++ {
+					s := scales[0]
+					if len(scales) > 1 {
+						s = scales[o]
+					}
+					drow := od[o*cols+j0 : o*cols+j1]
+					for jj, v := range bacc[o*tw : o*tw+tw] {
+						drow[jj] = float32(v) * s
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
 // streamPatchPanel lowers patch-matrix rows [p0,p1) restricted to output
 // positions [j0,j1) into panel (row-major, width j1-j0), zeroing padding.
 // This is Im2ColInto's loop nest confined to one cache panel.

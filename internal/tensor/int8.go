@@ -83,11 +83,77 @@ func GemmInt8Into(dst []int32, a, b *Int8Matrix) error {
 		})
 		return nil
 	}
+	if n <= narrowN {
+		// Tall-skinny product (the micro-batched Dense shape, n = batch):
+		// walk k in kcPanel strips so the active B panel (kcPanel×n int8)
+		// stays L1-resident across every A row, each operand is streamed
+		// from memory exactly once per batch, and the n-wide column sums
+		// live in a stack register block instead of paying per-panel axpy
+		// call overhead on tiny row widths. Integer accumulation is exact,
+		// so this path is bit-identical to the blocked one.
+		parallelFor(m, k*n, func(lo, hi int) {
+			clear(dst[lo*n : hi*n])
+			var acc [narrowN]int32
+			for p0 := 0; p0 < k; p0 += kcPanel {
+				p1 := min(p0+kcPanel, k)
+				for i := lo; i < hi; i++ {
+					arow := ad[i*k+p0 : i*k+p1]
+					if n == 8 {
+						gemmInt8Narrow8(dst[i*n:i*n+8], arow, bd[p0*8:p1*8])
+						continue
+					}
+					s := acc[:n]
+					copy(s, dst[i*n:(i+1)*n])
+					// No zero-skip: on zero-heavy low-bit grids the skip
+					// branch is data-dependent and mispredicts, costing
+					// more than the n multiplies it saves at tiny widths.
+					for pp, av := range arow {
+						av32 := int32(av)
+						brow := bd[(p0+pp)*n : (p0+pp)*n+n]
+						for j, bv := range brow {
+							s[j] += av32 * int32(bv)
+						}
+					}
+					copy(dst[i*n:(i+1)*n], s)
+				}
+			}
+		})
+		return nil
+	}
 	parallelFor(m, k*n, func(lo, hi int) {
 		gemmInt8Rows(dst, ad, bd, lo, hi, k, n)
 	})
 	return nil
 }
+
+// gemmInt8Narrow8 accumulates one output row strip of the n==8 narrow
+// path: s += arow · bpanel, straight-line unrolled so the eight column
+// sums live in registers and the inner loop carries one branch per weight
+// element. bpanel holds B rows [p0,p1) at width 8; len(bpanel) == 8·len(arow).
+func gemmInt8Narrow8(s []int32, arow []int8, bpanel []int8) {
+	_ = s[7]
+	s0, s1, s2, s3 := s[0], s[1], s[2], s[3]
+	s4, s5, s6, s7 := s[4], s[5], s[6], s[7]
+	for pp, av := range arow {
+		av32 := int32(av)
+		b := bpanel[pp*8 : pp*8+8 : pp*8+8]
+		s0 += av32 * int32(b[0])
+		s1 += av32 * int32(b[1])
+		s2 += av32 * int32(b[2])
+		s3 += av32 * int32(b[3])
+		s4 += av32 * int32(b[4])
+		s5 += av32 * int32(b[5])
+		s6 += av32 * int32(b[6])
+		s7 += av32 * int32(b[7])
+	}
+	s[0], s[1], s[2], s[3] = s0, s1, s2, s3
+	s[4], s[5], s[6], s[7] = s4, s5, s6, s7
+}
+
+// narrowN is the widest b operand served by the register-block small-n
+// path of GemmInt8Into: n int32 accumulators must fit in registers/stack
+// while each weight row streams past once.
+const narrowN = 16
 
 // gemmInt8Rows computes rows [lo, hi) of C = A·B with 4-row register
 // blocking inside kcPanel×ncPanel cache panels of B.

@@ -30,7 +30,8 @@
 //	ev, _ := adaflow.NewCalibratedEvaluator("CNVW2A2", "cifar10")
 //	lib, _ := adaflow.GenerateLibrary(m, adaflow.LibraryConfig{Evaluator: ev})
 //	mgr, _ := adaflow.NewRuntimeManager(lib, adaflow.DefaultManagerConfig())
-//	res, _ := adaflow.RunEdge(adaflow.Scenario2(), adaflow.NewAdaFlowController(mgr), adaflow.SimConfig{Seed: 1})
+//	scn, _ := adaflow.ParseScenario("paper2")
+//	res, _ := adaflow.RunEdge(scn, adaflow.NewAdaFlowController(mgr), adaflow.SimConfig{Seed: 1})
 //
 // The cmd/ tools and examples/ directory exercise this API end to end;
 // bench_test.go regenerates every paper table and figure.
@@ -161,13 +162,55 @@ func NewRuntimeManager(lib *Library, cfg ManagerConfig) (*RuntimeManager, error)
 // accuracy threshold, Fixed only beyond 10× the reconfiguration time.
 func DefaultManagerConfig() ManagerConfig { return manager.DefaultConfig() }
 
+// SwitchPolicy selects the manager's accelerator-family rule; see
+// SwitchInterval and SwitchRate.
+type SwitchPolicy = manager.SwitchPolicy
+
+const (
+	// SwitchInterval is the paper's rule: Fixed only while model switches
+	// are rare relative to the reconfiguration time. The default.
+	SwitchInterval = manager.SwitchInterval
+	// SwitchRate sizes the serving configuration to a sustained-input-rate
+	// estimate (EWMA + deviation headroom) instead of the instantaneous
+	// rate, going Fixed while the rate is stable.
+	SwitchRate = manager.SwitchRate
+)
+
+// ParseSwitchPolicy parses "interval" or "rate" (did-you-mean hard
+// errors), for wiring the policy through flags and configs.
+func ParseSwitchPolicy(name string) (SwitchPolicy, error) { return manager.ParseSwitchPolicy(name) }
+
+// ParseScenario parses a composable workload spec — `|`-separated
+// primitives such as
+//
+//	"diurnal:period=60,amp=0.4 | burst:at=15,x=3,len=2 | tail:pareto,alpha=1.5"
+//
+// or one of the registered names from NamedScenarios ("paper1",
+// "diurnal", …). Unknown primitives and parameters are hard errors with
+// did-you-mean hints. See DESIGN.md "Workload grammar" for the full
+// grammar.
+func ParseScenario(spec string) (Scenario, error) { return edge.ParseScenario(spec) }
+
+// NamedScenarios returns the registered scenario names mapped to their
+// spec strings: the paper workloads ("paper1", "paper2", "paper12",
+// "paper-churn") plus the extended zoo ("diurnal", "flash", "heavytail",
+// "multicam").
+func NamedScenarios() map[string]string { return edge.NamedScenarios() }
+
 // Scenario1 is the paper's stable workload (±30 % every 5 s).
+//
+// Deprecated: use ParseScenario("paper1"); the constructors remain as
+// thin wrappers over the named specs.
 func Scenario1() Scenario { return edge.Scenario1() }
 
 // Scenario2 is the unpredictable workload (±70 % every 500 ms).
+//
+// Deprecated: use ParseScenario("paper2").
 func Scenario2() Scenario { return edge.Scenario2() }
 
 // Scenario12 is the hybrid workload (stable, then unpredictable at 15 s).
+//
+// Deprecated: use ParseScenario("paper12").
 func Scenario12() Scenario { return edge.Scenario12() }
 
 // NewAdaFlowController serves with the Runtime Manager.

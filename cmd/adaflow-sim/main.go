@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	adaflow-sim [-scenario 1|2|1+2] [-controller adaflow|finn|reconf|pool|cluster]
+//	adaflow-sim [-scenario SPEC] [-controller adaflow|finn|reconf|pool|cluster]
+//	            [-policy interval|rate]
 //	            [-runs N] [-seed S] [-threshold 0.10] [-criteria 10]
 //	            [-reconfig-ms 145] [-csv]
 //	            [-boards 4] [-standby 1] [-queue-depth 16] [-deadline 0.05]
@@ -15,6 +16,22 @@
 //	            [-streams 1000] [-pools 8] [-epochs 5] [-epoch-seconds 5]
 //	            [-stream-spec "name[*N]:rate=,prio=,tenant=,slo=,..."]
 //	            [-fault-pools 0,1] [-tenant-share 0.5]
+//
+// -scenario takes a workload spec in the composable grammar — a registered
+// name ("paper1", "paper2", "paper12", "paper-churn", "diurnal", "flash",
+// "heavytail", "multicam") or `|`-separated primitives such as
+//
+//	-scenario "diurnal:period=60,amp=0.4 | burst:at=15,x=3,len=2 | tail:pareto,alpha=1.5"
+//	-scenario "replay:file=trace.jsonl"
+//
+// The historical short names 1, 2, and 1+2/12 still select the paper
+// scenarios. See DESIGN.md "Workload grammar" for every primitive.
+//
+// -policy selects the manager's accelerator-family rule: "interval" (the
+// paper's switch-interval criterion, default) or "rate" (size the serving
+// configuration to a sustained-rate EWMA estimate and go Fixed only while
+// the rate is stable). Applies to the adaflow, pool, and cluster
+// controllers.
 //
 // -controller pool serves through a supervised multi-board pool of -boards
 // FPGAs (plus -standby hot spares); board-level fault kinds in -fault-plan
@@ -71,8 +88,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaflow-sim: ")
-	scenario := flag.String("scenario", "2", "workload scenario: 1, 2, or 1+2")
+	scenario := flag.String("scenario", "2", `workload spec: a named scenario ("paper1", "diurnal", ...), a grammar spec ("stable | burst:at=10,x=3"), or the legacy short names 1, 2, 1+2`)
 	controller := flag.String("controller", "adaflow", "adaflow, finn, reconf, pool, or cluster")
+	policy := flag.String("policy", "interval", `accelerator-family rule: "interval" (paper) or "rate" (sustained-rate aware)`)
 	modelName := flag.String("model", "CNVW2A2", "CNVW2A2 or CNVW1A2")
 	ds := flag.String("dataset", "cifar10", "cifar10 or gtsrb")
 	runs := flag.Int("runs", 1, "repetitions to average")
@@ -109,16 +127,25 @@ func main() {
 		}
 	}
 
-	var scn edge.Scenario
-	switch *scenario {
+	switchPolicy, err := manager.ParseSwitchPolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The legacy short names map onto the named specs; anything else goes
+	// through the workload grammar (named scenarios included).
+	spec := *scenario
+	switch spec {
 	case "1":
-		scn = edge.Scenario1()
+		spec = "paper1"
 	case "2":
-		scn = edge.Scenario2()
+		spec = "paper2"
 	case "1+2", "12":
-		scn = edge.Scenario12()
-	default:
-		log.Fatalf("unknown scenario %q", *scenario)
+		spec = "paper12"
+	}
+	scn, err := edge.ParseScenario(spec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	classes := 10
@@ -126,7 +153,6 @@ func main() {
 		classes = 43
 	}
 	var m *model.Model
-	var err error
 	switch *modelName {
 	case "CNVW2A2":
 		m, err = model.CNVW2A2(*ds, classes, 1)
@@ -153,6 +179,7 @@ func main() {
 			cfg := manager.DefaultConfig()
 			cfg.AccuracyThreshold = *threshold
 			cfg.CriteriaMultiple = *criteria
+			cfg.SwitchPolicy = switchPolicy
 			mgr, err := manager.New(lib, cfg)
 			if err != nil {
 				return nil, err
@@ -167,6 +194,7 @@ func main() {
 			cfg := manager.DefaultConfig()
 			cfg.AccuracyThreshold = *threshold
 			cfg.CriteriaMultiple = *criteria
+			cfg.SwitchPolicy = switchPolicy
 			return multiedge.NewSupervisedPool(lib, multiedge.Config{
 				Boards: *boards, Standby: *standby, Manager: cfg,
 				Batch: *batch, BatchFlushSlack: *batchSlack,
@@ -230,6 +258,7 @@ func main() {
 		mcfg := manager.DefaultConfig()
 		mcfg.AccuracyThreshold = *threshold
 		mcfg.CriteriaMultiple = *criteria
+		mcfg.SwitchPolicy = switchPolicy
 		sch, err := cluster.New(lib, specs, cluster.Config{
 			Pools: *pools, BoardsPerPool: *boards, Standby: *standby,
 			Epochs: *epochs, EpochSeconds: *epochSeconds,

@@ -54,10 +54,26 @@ func ExampleCompileProgram() {
 	// Output: logits: 4
 }
 
-// ExampleScenario2 shows the paper's unpredictable workload definition.
-func ExampleScenario2() {
-	s := adaflow.Scenario2()
+// ExampleParseScenario shows the paper's unpredictable workload parsed
+// from its registered spec name.
+func ExampleParseScenario() {
+	s, err := adaflow.ParseScenario("paper2")
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("%s: %v devices, ±%.0f%% every %v ms\n",
 		s.Name, s.Devices, s.Phases[0].Deviation*100, s.Phases[0].Interval*1000)
 	// Output: scenario2: 20 devices, ±70% every 500 ms
+}
+
+// ExampleParseScenario_composed builds an ad-hoc workload from grammar
+// primitives: a diurnal cycle with a flash crowd and a heavy tail.
+func ExampleParseScenario_composed() {
+	s, err := adaflow.ParseScenario("base:dur=60 | diurnal:period=60,amp=0.4 | burst:at=15,x=3,len=2 | tail:pareto,alpha=1.5")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f s, diurnal amp %.0f%%, %d burst, tail α=%.1f\n",
+		s.Duration, s.Diurnal.Amplitude*100, len(s.Bursts), s.Tail.Alpha)
+	// Output: 60 s, diurnal amp 40%, 1 burst, tail α=1.5
 }

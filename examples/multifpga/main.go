@@ -32,8 +32,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scn := adaflow.Scenario2()
-	scn.Devices = 60 // 1800 FPS mean — far beyond one board
+	// 60 cameras: 1800 FPS mean — far beyond one board.
+	scn, err := adaflow.ParseScenario("base:name=scenario2,devices=60 | unpredictable")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: %d cameras x %.0f FPS (%s)\n\n", scn.Devices, scn.PerDeviceFPS, scn.Name)
 
 	single, err := manager.New(lib, manager.DefaultConfig())

@@ -31,7 +31,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scn := adaflow.Scenario12()
+	scn, err := adaflow.ParseScenario("paper12")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("scenario %s: %d devices x %.0f FPS for %.0f s\n\n",
 		scn.Name, scn.Devices, scn.PerDeviceFPS, scn.Duration)
 

@@ -523,7 +523,7 @@ func (s *Scheduler) dispatch(e int, plan *epochPlan) ([]*edge.Result, error) {
 				// blackout frames are accounted analytically as migrating.
 				rate *= (E - s.blackout()) / E
 			}
-			loads = append(loads, edge.Load{Streams: 1, FPS: rate, Deviation: st.Deviation, Interval: st.Interval})
+			loads = append(loads, edge.Load{Streams: 1, FPS: rate, Deviation: st.Deviation, Interval: st.Interval, Diurnal: st.Diurnal})
 			if st.SLO > 0 && (deadline == 0 || st.SLO < deadline) {
 				deadline = st.SLO
 			}

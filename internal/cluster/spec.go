@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/edge"
 	"repro/internal/fault"
 )
 
@@ -81,6 +82,12 @@ type StreamSpec struct {
 	Deviation float64
 	// Interval is the fluctuation redraw period in seconds (default 5).
 	Interval float64
+	// Scenario optionally names the workload-grammar scenario this stream
+	// adopted its shape from (the scn= key); informational once parsed.
+	Scenario string
+	// Diurnal optionally modulates the stream with a sinusoidal cycle,
+	// carried into each pool's composite scenario (set via scn=).
+	Diurnal *edge.Diurnal
 }
 
 // Validate checks one spec's invariants.
@@ -114,7 +121,30 @@ func (s *StreamSpec) defaults() {
 	}
 }
 
-var streamKeys = []string{"rate", "prio", "tenant", "slo", "dev", "interval"}
+var streamKeys = []string{"rate", "prio", "tenant", "slo", "dev", "interval", "scn"}
+
+// adoptScenario copies a named workload scenario's shape onto the stream:
+// the first phase's deviation and redraw interval, plus any diurnal
+// cycle. Scenarios with components a per-stream load cannot carry
+// (bursts, heavy tail, churn, correlated bursts, replay) are hard errors
+// — a stream never silently serves a flattened version of its workload.
+func (s *StreamSpec) adoptScenario(name string) error {
+	scn, err := edge.NamedScenario(name)
+	if err != nil {
+		return fmt.Errorf("cluster: stream %q scn=%q: %w", s.Name, name, err)
+	}
+	switch {
+	case len(scn.Bursts) > 0, scn.Tail != nil, scn.Corr != nil, scn.Churn != nil, scn.Replay != nil:
+		return fmt.Errorf("cluster: stream %q scn=%q: scenario has components a per-stream load cannot carry (only phases and diurnal compose)", s.Name, name)
+	case len(scn.Phases) != 1:
+		return fmt.Errorf("cluster: stream %q scn=%q: scenario has %d phases, want exactly 1", s.Name, name, len(scn.Phases))
+	}
+	s.Scenario = name
+	s.Deviation = scn.Phases[0].Deviation
+	s.Interval = scn.Phases[0].Interval
+	s.Diurnal = scn.Diurnal
+	return nil
+}
 
 // validName restricts stream names to [A-Za-z0-9._-] so a declared name
 // can never collide with the grammar's metacharacters.
@@ -138,10 +168,13 @@ func validName(name string) bool {
 //
 // Keys: rate (FPS, required), prio (low|normal|high), tenant, slo
 // (deadline seconds), dev (fluctuation fraction), interval (redraw
-// seconds). "name*N" expands to name-0 … name-(N-1), all sharing the
-// declaration. An unknown key or priority is a hard parse error with a
-// did-you-mean hint — misdeclared streams never degrade to a silent
-// default. An empty spec yields an empty set.
+// seconds), scn (a named workload-grammar scenario — "diurnal", say —
+// whose phase shape and diurnal cycle the stream adopts; later dev= or
+// interval= keys override the adopted values). "name*N" expands to
+// name-0 … name-(N-1), all sharing the declaration. An unknown key or
+// priority is a hard parse error with a did-you-mean hint — misdeclared
+// streams never degrade to a silent default. An empty spec yields an
+// empty set.
 func ParseStreams(spec string) ([]StreamSpec, error) {
 	var out []StreamSpec
 	seen := make(map[string]bool)
@@ -215,6 +248,10 @@ func ParseStreams(spec string) ([]StreamSpec, error) {
 					return nil, fmt.Errorf("cluster: stream %q has empty tenant", name)
 				}
 				s.Tenant = val
+			case "scn":
+				if err := s.adoptScenario(val); err != nil {
+					return nil, err
+				}
 			default:
 				return nil, fmt.Errorf("cluster: stream %q has unknown parameter %q%s",
 					name, key, fault.DidYouMean(key, streamKeys))

@@ -34,6 +34,45 @@ func TestParseStreams(t *testing.T) {
 	}
 }
 
+// TestParseStreamsScenario: the scn= key adopts a named workload
+// scenario's shape — phase deviation/interval plus the diurnal cycle —
+// with later explicit keys overriding the adopted values.
+func TestParseStreamsScenario(t *testing.T) {
+	specs, err := ParseStreams("cam*2:rate=30,scn=diurnal;ptz:rate=60,scn=paper2,dev=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := specs[0]
+	if cam.Scenario != "diurnal" || cam.Diurnal == nil {
+		t.Fatalf("cam-0 did not adopt the diurnal scenario: %+v", cam)
+	}
+	if cam.Deviation != 0.15 || cam.Interval != 1 {
+		t.Errorf("cam-0 adopted shape = dev %v interval %v, want 0.15/1", cam.Deviation, cam.Interval)
+	}
+	if cam.Diurnal.Period != 20 || cam.Diurnal.Amplitude != 0.45 {
+		t.Errorf("cam-0 diurnal = %+v, want period 20 amp 0.45", cam.Diurnal)
+	}
+	ptz := specs[2]
+	if ptz.Scenario != "paper2" || ptz.Diurnal != nil {
+		t.Fatalf("ptz adoption = %+v", ptz)
+	}
+	if ptz.Deviation != 0.5 {
+		t.Errorf("explicit dev=0.5 after scn= did not win: %v", ptz.Deviation)
+	}
+
+	for _, tc := range []struct{ spec, want string }{
+		{"cam:rate=30,scn=diurnl", `did you mean "diurnal"?`},
+		{"cam:rate=30,scn=flash", "cannot carry"},
+		{"cam:rate=30,scn=heavytail", "cannot carry"},
+		{"cam:rate=30,scn=paper12", "phases"},
+	} {
+		_, err := ParseStreams(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseStreams(%q) error %v does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
 func TestParseStreamsEmpty(t *testing.T) {
 	for _, spec := range []string{"", "  ", ";;"} {
 		if specs, err := ParseStreams(spec); err != nil || len(specs) != 0 {

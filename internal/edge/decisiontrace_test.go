@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/manager"
 	"repro/internal/obs"
 )
 
@@ -58,6 +59,61 @@ func TestGoldenDecisionTraces(t *testing.T) {
 				t.Errorf("decision trace mismatch for %s:\n%s", tc.file, diffLines(string(want), got))
 			}
 		})
+	}
+}
+
+// TestGoldenDecisionTracesFamilies pins the decision stream for every
+// new scenario family in the workload zoo under both accelerator-family
+// rules. The interval-policy traces prove the grammar-built scenarios
+// drive the paper's rule deterministically; the rate-policy traces pin
+// the sustained-rate verdicts (policy/sustained/stable attributes).
+// Refresh after an intentional semantic change with
+//
+//	go test ./internal/edge/ -run Golden -update
+func TestGoldenDecisionTracesFamilies(t *testing.T) {
+	lib := paperLib(t)
+	for _, family := range []string{"diurnal", "flash", "heavytail", "multicam"} {
+		for _, policy := range []manager.SwitchPolicy{manager.SwitchInterval, manager.SwitchRate} {
+			family, policy := family, policy
+			t.Run(family+"_"+policy.String(), func(t *testing.T) {
+				scn, err := NamedScenario(family)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := manager.DefaultConfig()
+				cfg.SwitchPolicy = policy
+				mgr, err := manager.New(lib, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				sink := obs.NewJSONL(&buf)
+				tr := obs.New(obs.Filter(sink, func(ev obs.Event) bool {
+					return ev.Cat == obs.ManagerCat
+				}))
+				if _, err := Run(scn, NewAdaFlow(mgr), SimConfig{Seed: 1}, WithTracer(tr)); err != nil {
+					t.Fatal(err)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				got := buf.String()
+				path := filepath.Join("testdata", "decisions_"+family+"_"+policy.String()+".golden")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("decision trace mismatch for %s/%s:\n%s", family, policy, diffLines(string(want), got))
+				}
+			})
+		}
 	}
 }
 

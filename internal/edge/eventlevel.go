@@ -35,7 +35,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 	}
 	eng := sim.NewEngine()
 
-	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
+	inj, err := fault.NewInjector(cfg.FaultConfig.Plan, cfg.FaultConfig.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 
 	var startService func()
 
-	// Micro-batched dispatch (cfg.Batch > 1): serve up to Batch queued
+	// Micro-batched dispatch (batch size > 1): serve up to Size queued
 	// frames in one service event. The batch is cut short when the oldest
 	// frame's deadline slack would run out — batching never causes a miss
 	// that single-frame serving would not, because a size-k batch finishes
@@ -92,18 +92,18 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 		batchDone  func()
 	)
 	serveBatch := func(now float64) {
-		k := cfg.Batch
+		k := cfg.BatchConfig.Size
 		cause := metrics.FlushBatchFull
 		if len(queue) < k {
 			k = len(queue)
 			cause = metrics.FlushIdle
 		}
-		if cfg.Deadline > 0 {
-			slack := cfg.BatchFlushSlack
+		if cfg.AdmissionConfig.Deadline > 0 {
+			slack := cfg.BatchConfig.FlushSlack
 			if slack <= 0 {
 				slack = 1 / serving.FPS
 			}
-			if kMax := int((queue[0] + cfg.Deadline - slack - now) * serving.FPS); kMax < k {
+			if kMax := int((queue[0] + cfg.AdmissionConfig.Deadline - slack - now) * serving.FPS); kMax < k {
 				k = kMax
 				cause = metrics.FlushDeadlineSlack
 			}
@@ -161,10 +161,10 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 		if busy || len(queue) == 0 || now < stallUntil || serving.FPS <= 0 {
 			return
 		}
-		if cfg.Deadline > 0 {
+		if cfg.AdmissionConfig.Deadline > 0 {
 			// Shed frames already past the deadline instead of serving
 			// them stale.
-			for len(queue) > 0 && now-queue[0] > cfg.Deadline {
+			for len(queue) > 0 && now-queue[0] > cfg.AdmissionConfig.Deadline {
 				queue = queue[1:]
 				acc.Add(0, 0, 1, 0, 0, 0)
 				acc.Drops.Add(metrics.DropDeadlineExceeded, 1)
@@ -178,7 +178,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 				return
 			}
 		}
-		if cfg.Batch > 1 {
+		if cfg.BatchConfig.Size > 1 {
 			serveBatch(now)
 			return
 		}
@@ -363,7 +363,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 			meter.hit(modArrival)
 			now := eng.Now()
 			integrate(now)
-			if float64(len(queue)) >= cfg.QueueFrames {
+			if float64(len(queue)) >= cfg.AdmissionConfig.QueueFrames {
 				acc.Add(1, 0, 1, 0, 0, 0)
 				cause := metrics.DropQueueFull
 				if serving.FPS <= 0 {

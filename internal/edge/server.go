@@ -77,27 +77,66 @@ type Result struct {
 	FaultEvents []FaultEvent
 }
 
-// SimConfig tunes the run mechanics.
-type SimConfig struct {
-	// Step is the accounting step (default 10 ms).
-	Step float64
-	// QueueFrames is the server's frame buffer (default 128).
+// AdmissionConfig groups the admission-control knobs: how many frames
+// the server buffers and how stale a frame may get before it is shed.
+type AdmissionConfig struct {
+	// QueueFrames is the server's frame buffer (default 16, ≈27 ms at the
+	// nominal 600 FPS).
 	QueueFrames float64
 	// Deadline, when positive, is the admission-control deadline in
 	// seconds: frames that cannot be served within it are shed with cause
 	// deadline-exceeded instead of being served stale. Zero disables
 	// deadline shedding (the historical behaviour).
 	Deadline float64
-	// Batch, when > 1, enables micro-batched service: up to Batch frames
+}
+
+// BatchConfig groups the micro-batching knobs.
+type BatchConfig struct {
+	// Size, when > 1, enables micro-batched service: up to Size frames
 	// are served per dispatch so per-dispatch fixed costs amortize over
 	// the batch. A batch is cut short before it would push its oldest
 	// frame past the deadline, so batching introduces no new drop causes
 	// and never misses a deadline that single-frame serving would make.
-	// Batch <= 1 keeps the historical single-frame path bit-identical.
-	Batch int
-	// BatchFlushSlack is the deadline slack, in seconds, reserved when
+	// Size <= 1 keeps the historical single-frame path bit-identical.
+	Size int
+	// FlushSlack is the deadline slack, in seconds, reserved when
 	// deciding how many frames still fit in a batch (event-level runs).
 	// Zero means one frame time at the current serving rate.
+	FlushSlack float64
+}
+
+// FaultConfig groups the chaos-injection knobs.
+type FaultConfig struct {
+	// Plan, when non-nil, injects the planned faults during the run.
+	Plan *fault.Plan
+	// Seed drives the fault RNG streams (independent of the workload
+	// seed, so the same workload can be replayed under different chaos
+	// draws). Runs with equal plans and seeds replay bit-identically.
+	Seed int64
+}
+
+// SimConfig tunes the run mechanics. The admission, batching, and fault
+// knobs live in the embedded AdmissionConfig/BatchConfig/FaultConfig
+// groups; the flat QueueFrames/Deadline/Batch/BatchFlushSlack/FaultPlan/
+// FaultSeed fields are aliases kept for configs written before the
+// grouping existed (Go composite literals cannot set promoted fields, so
+// the aliases must stay addressable at the top level). normalize()
+// reconciles the two views once per run — a group field that is set wins
+// over its alias; untouched configs behave bit-identically.
+type SimConfig struct {
+	AdmissionConfig
+	BatchConfig
+	FaultConfig
+
+	// Step is the accounting step (default 10 ms).
+	Step float64
+	// QueueFrames aliases AdmissionConfig.QueueFrames.
+	QueueFrames float64
+	// Deadline aliases AdmissionConfig.Deadline.
+	Deadline float64
+	// Batch aliases BatchConfig.Size.
+	Batch int
+	// BatchFlushSlack aliases BatchConfig.FlushSlack.
 	BatchFlushSlack float64
 	// Seed drives the workload RNG.
 	Seed int64
@@ -110,11 +149,9 @@ type SimConfig struct {
 	// ThresholdChanges schedules user accuracy-threshold updates during
 	// the run (delivered to controllers implementing ThresholdSetter).
 	ThresholdChanges []ThresholdChange
-	// FaultPlan, when non-nil, injects the planned faults during the run;
-	// FaultSeed drives the fault RNG streams (independent of Seed, so the
-	// same workload can be replayed under different chaos draws). Runs
-	// with equal plans and seeds replay bit-identically.
+	// FaultPlan aliases FaultConfig.Plan.
 	FaultPlan *fault.Plan
+	// FaultSeed aliases FaultConfig.Seed.
 	FaultSeed int64
 }
 
@@ -178,14 +215,47 @@ type BatchStatsReporter interface {
 	DrainBatchStats() metrics.BatchStats
 }
 
+// normalize reconciles the grouped knobs with their flat aliases: each
+// alias fills its group field when the group field is unset, then the
+// group view is mirrored back so both views read the same value. Group
+// fields win when both are set.
+func (c *SimConfig) normalize() {
+	if c.AdmissionConfig.QueueFrames == 0 {
+		c.AdmissionConfig.QueueFrames = c.QueueFrames
+	}
+	if c.AdmissionConfig.Deadline == 0 {
+		c.AdmissionConfig.Deadline = c.Deadline
+	}
+	if c.BatchConfig.Size == 0 {
+		c.BatchConfig.Size = c.Batch
+	}
+	if c.BatchConfig.FlushSlack == 0 {
+		c.BatchConfig.FlushSlack = c.BatchFlushSlack
+	}
+	if c.FaultConfig.Plan == nil {
+		c.FaultConfig.Plan = c.FaultPlan
+	}
+	if c.FaultConfig.Seed == 0 {
+		c.FaultConfig.Seed = c.FaultSeed
+	}
+	c.QueueFrames = c.AdmissionConfig.QueueFrames
+	c.Deadline = c.AdmissionConfig.Deadline
+	c.Batch = c.BatchConfig.Size
+	c.BatchFlushSlack = c.BatchConfig.FlushSlack
+	c.FaultPlan = c.FaultConfig.Plan
+	c.FaultSeed = c.FaultConfig.Seed
+}
+
 func (c *SimConfig) defaults() {
+	c.normalize()
 	if c.Step == 0 {
 		c.Step = 0.01
 	}
-	if c.QueueFrames == 0 {
+	if c.AdmissionConfig.QueueFrames == 0 {
 		// A short buffer (≈27 ms at the nominal 600 FPS): the paper's
 		// servers drop frames they cannot serve promptly, so bursts above
 		// capacity translate into loss rather than deep queueing.
+		c.AdmissionConfig.QueueFrames = 16
 		c.QueueFrames = 16
 	}
 }
@@ -212,7 +282,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 	}
 	eng := sim.NewEngine()
 
-	inj, err := fault.NewInjector(cfg.FaultPlan, cfg.FaultSeed)
+	inj, err := fault.NewInjector(cfg.FaultConfig.Plan, cfg.FaultConfig.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +473,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 
 		// Admission control for this step lives in admitStep (shared
 		// policy kernel; admission_test.go pins its semantics).
-		out := admitStep(queue, arrived, capacity, cfg.QueueFrames, cfg.Deadline, serving.FPS, stalled > 0)
+		out := admitStep(queue, arrived, capacity, cfg.AdmissionConfig.QueueFrames, cfg.AdmissionConfig.Deadline, serving.FPS, stalled > 0)
 		queue = out.Queue
 		processed := out.Processed
 		dropped := out.Dropped()
@@ -437,14 +507,14 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 		}
 		acc.Add(arrived, processed, dropped, measured, power*dt, dt)
 		acc.AddQueue(queue, dt)
-		if cfg.Batch > 1 && processed > 0 && !ctlBatches {
+		if cfg.BatchConfig.Size > 1 && processed > 0 && !ctlBatches {
 			// Fluid analog of the event-level micro-batcher: processed
-			// frames accumulate into a carry; every full Batch flushes
+			// frames accumulate into a carry; every full batch flushes
 			// batch-full, and a remainder flushes when the queue drains
 			// (idle) or under deadline pressure (deadline-slack). At
-			// Batch <= 1 nothing here runs, so historical runs replay
+			// Size <= 1 nothing here runs, so historical runs replay
 			// byte-identically.
-			b := float64(cfg.Batch)
+			b := float64(cfg.BatchConfig.Size)
 			batchCarry += processed
 			for batchCarry >= b {
 				batchCarry -= b
@@ -454,7 +524,7 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 				if queue == 0 {
 					acc.Batch.Add(batchCarry, metrics.FlushIdle)
 					batchCarry = 0
-				} else if cfg.Deadline > 0 {
+				} else if cfg.AdmissionConfig.Deadline > 0 {
 					acc.Batch.Add(batchCarry, metrics.FlushDeadlineSlack)
 					batchCarry = 0
 				}
@@ -560,10 +630,14 @@ func RunRepeated(scn Scenario, mk func() (Controller, error), n int, seed int64,
 		ctls[i] = ctl
 	}
 	runs := make([]metrics.RunStats, n)
+	// Normalize once up front so the per-run fault-seed override lands in
+	// both the grouped field and its alias (grouped wins inside Run).
+	cfg.normalize()
 	err := parallel.ForEachErr(n, MaxParallelRuns(), func(i int) error {
 		c := cfg
 		c.Seed = seed + int64(i)
-		c.FaultSeed = cfg.FaultSeed + int64(i)
+		c.FaultConfig.Seed = cfg.FaultConfig.Seed + int64(i)
+		c.FaultSeed = c.FaultConfig.Seed
 		c.RecordTrace = false
 		// Each run derives its own tracer child: events share the sink
 		// (which must be concurrency-safe) and carry a run=i attribute, so

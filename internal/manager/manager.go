@@ -96,6 +96,14 @@ type Config struct {
 	Headroom float64
 	// Policy breaks ties among versions that meet the demand.
 	Policy Policy
+	// SwitchPolicy selects the accelerator-family rule: the paper's
+	// switch-interval criteria (SwitchInterval, the default) or the
+	// sustained-data-rate rule (SwitchRate). Note this is a different
+	// axis from Policy, which only breaks ties among eligible versions.
+	SwitchPolicy SwitchPolicy
+	// Rate tunes the sustained-rate tracker used by SwitchRate (zero
+	// values select the tracker defaults; ignored under SwitchInterval).
+	Rate RateConfig
 
 	// Degradation policy: how the manager reacts when an FPGA
 	// reconfiguration it requested fails at run time (reported through
@@ -163,10 +171,17 @@ type Manager struct {
 	degradations  int
 	fixedBanUntil float64
 
+	// rate is the sustained-rate estimator behind SwitchRate. It tracks
+	// the workload, not decisions, so it is deliberately outside the
+	// reconfiguration snapshot: rolling back a failed decision must not
+	// erase what the manager observed.
+	rate RateTracker
+
 	// trace, when enabled, receives one "manager/decide" event per Decide
-	// call (candidate set, threshold, switch-interval verdict, degradation
-	// state) plus rollback/commit events on the reconfiguration path.
-	// Tracing is passive: it never alters a decision.
+	// call (candidate set, threshold, the active rule's verdict,
+	// degradation state) plus rollback/commit events on the
+	// reconfiguration path. Tracing is passive: it never alters a
+	// decision.
 	trace *obs.Trace
 }
 
@@ -196,8 +211,17 @@ func New(lib *library.Library, cfg Config) (*Manager, error) {
 	if cfg.MaxReconfigRetries < 0 || cfg.RetryBackoff < 0 || cfg.RetryBackoffMax < 0 || cfg.FixedBanMultiple < 0 {
 		return nil, fmt.Errorf("manager: negative degradation parameter")
 	}
+	if cfg.SwitchPolicy < 0 || cfg.SwitchPolicy >= numSwitchPolicies {
+		return nil, fmt.Errorf("manager: unknown switch policy %d", int(cfg.SwitchPolicy))
+	}
+	if err := cfg.Rate.validate(); err != nil {
+		return nil, err
+	}
 	cfg.normalize()
-	return &Manager{lib: lib, cfg: cfg, emaIval: 1e18, lastSwitch: -1e18, fixedBanUntil: -1e18}, nil
+	return &Manager{
+		lib: lib, cfg: cfg, emaIval: 1e18, lastSwitch: -1e18, fixedBanUntil: -1e18,
+		rate: RateTracker{cfg: cfg.Rate},
+	}, nil
 }
 
 // Library returns the manager's library.
@@ -399,10 +423,13 @@ func (m *Manager) eligibleSet() string {
 
 // traceDecide emits the "manager/decide" event: the full context of one
 // decision — chosen entry and family, the candidate set under the active
-// threshold, the switch-interval verdict against the criteria cutoff, and
-// the degradation state.
+// threshold, the active rule's verdict, and the degradation state. Under
+// SwitchInterval the attribute set is exactly the historical one (the
+// golden decision traces pin it); SwitchRate appends its policy verdict:
+// the sustained-rate estimate the model was selected against, the
+// deviation estimate, and the stability verdict.
 func (m *Manager) traceDecide(now, incomingFPS float64, entry int, kind, ruleKind AccelKind, interval, cutoff float64, changed, switched, degraded bool) {
-	m.trace.Emit(now, obs.ManagerCat, "decide",
+	attrs := []obs.Attr{
 		obs.F("incoming", incomingFPS),
 		obs.I("entry", entry),
 		obs.S("kind", kind.String()),
@@ -414,14 +441,33 @@ func (m *Manager) traceDecide(now, incomingFPS float64, entry int, kind, ruleKin
 		obs.F("criteria_s", cutoff),
 		obs.S("verdict", ruleKind.String()),
 		obs.B("degraded", degraded),
-		obs.F("ban_until", m.fixedBanUntil))
+		obs.F("ban_until", m.fixedBanUntil),
+	}
+	if m.cfg.SwitchPolicy == SwitchRate {
+		attrs = append(attrs,
+			obs.S("policy", m.cfg.SwitchPolicy.String()),
+			obs.F("sustained", m.rate.Sustained()),
+			obs.F("rate_dev", m.rate.Deviation()),
+			obs.B("stable", m.rate.Stable()))
+	}
+	m.trace.Emit(now, obs.ManagerCat, "decide", attrs...)
 }
 
 // Decide reacts to a workload observation at simulation time now
 // (seconds), returning the new decision and whether it changed the serving
 // configuration. The returned Decision carries the switching cost to apply.
 func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
-	entry := m.SelectModel(incomingFPS)
+	rateRule := m.cfg.SwitchPolicy == SwitchRate
+	selectFPS := incomingFPS
+	if rateRule {
+		// Data-rate-aware selection: feed the tracker and size the model
+		// to the sustained rate (EWMA + margin), not the instantaneous
+		// observation — transient dips stop causing switches, and the
+		// margin pre-provisions for the tracked fluctuation.
+		m.rate.Observe(now, incomingFPS)
+		selectFPS = m.rate.Sustained()
+	}
+	entry := m.SelectModel(selectFPS)
 
 	modelSwitch := !m.haveCur || entry != m.cur.Entry
 	// Accelerator-family rule: use Fixed only when switches have been
@@ -440,7 +486,16 @@ func (m *Manager) Decide(now float64, incomingFPS float64) (Decision, bool) {
 	if interval >= cutoff {
 		kind = Fixed
 	}
-	ruleKind := kind // the interval rule's verdict, before any ban
+	if rateRule {
+		// The data-rate rule replaces the interval criteria for the
+		// family choice: Fixed only while the tracked rate is stable
+		// enough that model switches will be rare.
+		kind = Flexible
+		if m.rate.Stable() {
+			kind = Fixed
+		}
+	}
+	ruleKind := kind // the active rule's verdict, before any ban
 	// Degradation fallback: while Fixed-Pruning is banned (repeated
 	// reconfiguration failures), serve from the Flexible accelerator even
 	// when the switch-interval rule would pick Fixed.

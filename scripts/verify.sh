@@ -35,6 +35,9 @@ go test -run '^$' -fuzz FuzzCalendarQueue -fuzztime=10s ./internal/sim/
 echo "== fuzz smoke (stream-spec grammar, 10s)"
 go test -run '^$' -fuzz FuzzStreamSpec -fuzztime=10s ./internal/cluster/
 
+echo "== fuzz smoke (workload-scenario grammar, 10s)"
+go test -run '^$' -fuzz FuzzParseScenario -fuzztime=10s ./internal/edge/
+
 echo "== go test -race (concurrent + serving packages)"
 make test-race
 

@@ -22,7 +22,7 @@ test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/train/... \
 		./internal/quant/... \
 		./internal/edge/... ./internal/manager/... ./internal/multiedge/... \
-		./internal/cluster/... \
+		./internal/cluster/... ./internal/adapt/... \
 		./internal/library/... ./internal/explore/... ./internal/parallel/... \
 		./internal/sim/... ./internal/experiments/... ./internal/obs/...
 
@@ -35,14 +35,15 @@ trace-golden:
 	$(GO) test -count=1 -run 'Golden' ./internal/edge/... ./internal/multiedge/... ./internal/cluster/...
 
 # Chaos suite: every fault-injection test (fixed seed matrix, deterministic)
-# across the fault layer, edge simulation, manager and pool.
+# across the fault layer, edge simulation, manager, pool, and the
+# closed-loop drift-recovery path.
 test-chaos:
-	$(GO) test -count=1 -run 'Chaos' ./internal/edge/... ./internal/multiedge/... ./internal/cluster/...
-	$(GO) test -count=1 ./internal/fault/...
-	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff' ./internal/manager/...
+	$(GO) test -count=1 -run 'Chaos|Adapt' ./internal/edge/... ./internal/multiedge/... ./internal/cluster/...
+	$(GO) test -count=1 ./internal/fault/... ./internal/adapt/...
+	$(GO) test -count=1 -run 'Property|Degrade|ReconfigFailed|Backoff|Swap' ./internal/manager/...
 
 # Tracked benchmark baseline: key design-time and substrate benchmarks,
-# recorded to BENCH_PR8.json for regression diffing.
+# recorded to BENCH_PR10.json for regression diffing.
 bench:
 	./scripts/bench.sh
 

@@ -649,7 +649,10 @@ func BenchmarkEdgeScenarioRun(b *testing.B) {
 // frame is an event) under a deadline; batch=1 is per-frame dispatch and
 // batch=8 amortizes the per-dispatch fixed costs — service completions,
 // their engine events, and the controller bookkeeping — over eight
-// frames, which is the allocs/op win the baseline tracks.
+// frames, which is the allocs/op win the baseline tracks. The adapt
+// variant runs the closed drift-recovery loop (detect → retrain → swap)
+// under a sustained shift; the fluid variant doubles as the guard that
+// the adaptation plumbing stays free when Adapt is disabled.
 func BenchmarkRunEdge(b *testing.B) {
 	p := experiments.Pairs[0]
 	lib, err := experiments.Lib(p)
@@ -683,6 +686,21 @@ func BenchmarkRunEdge(b *testing.B) {
 			}
 		})
 	}
+	b.Run("adapt", func(b *testing.B) {
+		plan, err := ParseFaultPlan("drift-sustained:p=1,start=5,mag=-0.15")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunEdge(Scenario2(), newCtl(b), SimConfig{
+				Seed: int64(i), FaultPlan: plan, FaultSeed: 1,
+				Adapt: AdaptConfig{Enabled: true},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPoolRun measures the supervised multi-board pool over the full

@@ -13,6 +13,7 @@
 //	            [-batch 8] [-batch-flush-slack 0.005]
 //	            [-trace out.jsonl] [-trace-sample 25] [-metrics-snapshot]
 //	            [-fault-plan "kind:p=X,start=Y,end=Z,mag=M;..."] [-fault-seed S]
+//	            [-adapt] [-adapt-threshold 0.03]
 //	            [-streams 1000] [-pools 8] [-epochs 5] [-epoch-seconds 5]
 //	            [-stream-spec "name[*N]:rate=,prio=,tenant=,slo=,..."]
 //	            [-fault-pools 0,1] [-tenant-share 0.5]
@@ -56,6 +57,15 @@
 // Cluster-level shedding extends the drop taxonomy with no-pool-capacity,
 // tenant-throttled, and migrating; the summary reports per-tenant totals.
 //
+// -adapt turns on the closed-loop drift recovery: a windowed EWMA
+// detector over the measured-accuracy stream arms on sustained drift
+// (deficit past -adapt-threshold for the hold-down), runs a deterministic
+// background retrain, and hot-swaps the recovered library into the
+// serving manager (or staggered across a pool's boards) without stopping
+// the stream. Pair it with an accuracy-drift or drift-sustained fault
+// rule to see the recovery; the summary reports detections, retrains,
+// swaps, rollbacks, and mean recovered accuracy points.
+//
 // -trace streams every decision event (manager verdicts, switches, faults,
 // board health transitions) plus sampled hot-path events to a JSON Lines
 // file; -metrics-snapshot aggregates the same events and prints Prometheus
@@ -74,6 +84,7 @@ import (
 	"time"
 
 	"repro/internal/accuracy"
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/edge"
 	"repro/internal/fault"
@@ -108,8 +119,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSONL event/decision trace to this file")
 	traceSample := flag.Int("trace-sample", 25, "keep every nth hot-path trace event (decision events are never sampled)")
 	metricsSnapshot := flag.Bool("metrics-snapshot", false, "print a Prometheus-style metrics snapshot to stdout after the run")
-	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;board-crash:p=1,board=0,start=5,end=5.2,repair=10" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift, board-crash, board-hang, frame-corrupt, board-brownout)`)
+	faultSpec := flag.String("fault-plan", "", `fault plan, e.g. "reconfig-fail:p=0.5,start=4,end=8;board-crash:p=1,board=0,start=5,end=5.2,repair=10" (kinds: reconfig-fail, reconfig-stall, sensor-dropout, sensor-spike, accuracy-drift, drift-sustained, board-crash, board-hang, frame-corrupt, board-brownout)`)
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same plan+seed replays bit-identically)")
+	adaptOn := flag.Bool("adapt", false, "enable closed-loop drift recovery (detect, retrain, hot-swap)")
+	adaptThreshold := flag.Float64("adapt-threshold", 0, "accuracy deficit (points, e.g. 0.03) that arms the drift detector (0 = default)")
 	streams := flag.Int("streams", 1000, "camera streams for -controller cluster")
 	streamSpec := flag.String("stream-spec", "", `explicit stream declarations for -controller cluster, e.g. "cam*96:rate=30,tenant=bronze;ptz*4:rate=60,prio=high,tenant=gold,slo=0.05"`)
 	pools := flag.Int("pools", 8, "fleet size for -controller cluster")
@@ -125,6 +138,15 @@ func main() {
 		if plan, err = fault.ParsePlan(*faultSpec); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	var adaptCfg adapt.Config
+	if *adaptOn {
+		if *controller == "cluster" {
+			log.Fatal("-adapt is not supported with -controller cluster (use adaflow or pool)")
+		}
+		adaptCfg.Enabled = true
+		adaptCfg.Threshold = *adaptThreshold
 	}
 
 	switchPolicy, err := manager.ParseSwitchPolicy(*policy)
@@ -291,6 +313,7 @@ func main() {
 			Seed: *seed, RecordTrace: *csv, FaultPlan: plan, FaultSeed: *faultSeed,
 			QueueFrames: *queueDepth, Deadline: *deadline,
 			Batch: *batch, BatchFlushSlack: *batchSlack,
+			Adapt: adaptCfg,
 		}, opts...)
 		if err != nil {
 			log.Fatal(err)
@@ -298,6 +321,7 @@ func main() {
 		printStats(scn.Name, *controller, res.RunStats.FrameLossPct, res.RunStats.QoEPct,
 			res.RunStats.AvgPowerW, res.RunStats.PowerEff, res.RunStats.Switches, res.RunStats.Reconfigs)
 		printFaults(plan, res.RunStats.Faults, res.FaultEvents)
+		printAdapt(*adaptOn, res.RunStats.Adapt)
 		printPool(res.RunStats)
 		printBatch(res.RunStats.Batch)
 		for _, ev := range res.Switches {
@@ -322,6 +346,7 @@ func main() {
 		FaultPlan: plan, FaultSeed: *faultSeed,
 		QueueFrames: *queueDepth, Deadline: *deadline,
 		Batch: *batch, BatchFlushSlack: *batchSlack,
+		Adapt: adaptCfg,
 	}, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -330,6 +355,7 @@ func main() {
 	printStats(scn.Name, *controller, mean.FrameLossPct, mean.QoEPct,
 		mean.AvgPowerW, mean.PowerEff, mean.Switches, mean.Reconfigs)
 	printFaults(plan, mean.Faults, nil)
+	printAdapt(*adaptOn, mean.Adapt)
 	printPool(mean)
 	printBatch(mean.Batch)
 	finishTrace()
@@ -381,6 +407,16 @@ func printBatch(s metrics.BatchStats) {
 		s.Batches, s.MeanBatch(), s.MaxBatch, s.FullFlushes, s.SlackFlushes, s.IdleFlushes)
 }
 
+// printAdapt summarizes the closed-loop drift recovery; silent unless
+// -adapt was given.
+func printAdapt(on bool, s metrics.AdaptStats) {
+	if !on {
+		return
+	}
+	fmt.Printf("adapt: %d detections, %d retrains, %d swaps, %d rollbacks, %.4f accuracy points recovered (processed-weighted mean)\n",
+		s.Detections, s.Retrains, s.Swaps, s.Rollbacks, s.RecoveredPoints)
+}
+
 // printPool summarizes admission-control shedding (by cause) and pool
 // supervision activity; silent when neither fired.
 func printPool(s metrics.RunStats) {
@@ -403,6 +439,9 @@ func printFaults(plan *fault.Plan, c metrics.FaultStats, events []edge.FaultEven
 	}
 	fmt.Printf("faults: %d reconfig failures (%d degradations), %d stalls, %d dropouts, %d spikes, %d drifts\n",
 		c.ReconfigFailures, c.Degradations, c.ReconfigStalls, c.SensorDropouts, c.SensorSpikes, c.AccuracyDrifts)
+	if c.SustainedDrifts > 0 {
+		fmt.Printf("sustained drift: %d perturbed accuracy samples\n", c.SustainedDrifts)
+	}
 	if c.BoardCrashes+c.BoardHangs+c.FrameCorruptions+c.BoardBrownouts > 0 {
 		fmt.Printf("board faults: %d crashes, %d hangs, %d corruptions, %d brownouts\n",
 			c.BoardCrashes, c.BoardHangs, c.FrameCorruptions, c.BoardBrownouts)

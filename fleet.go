@@ -13,6 +13,7 @@ package adaflow
 //	fmt.Println(res.Pool.Failovers, res.Drops.Total())
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -35,6 +36,27 @@ type (
 	FaultPlan = fault.Plan
 	// FaultRule is one scheduled fault of a plan.
 	FaultRule = fault.Rule
+
+	// AdaptConfig tunes the closed-loop drift recovery (SimConfig.Adapt):
+	// detector window/threshold/hold-down, retrain latency, validation
+	// margin, probation, and rollback backoff. Set Enabled to turn the
+	// loop on:
+	//
+	//	plan, _ := adaflow.ParseFaultPlan("drift-sustained:p=1,start=5,mag=-0.15")
+	//	res, _ := adaflow.RunEdge(adaflow.Scenario2(), ctl, adaflow.SimConfig{
+	//		Seed: 1, FaultPlan: plan, FaultSeed: 1,
+	//		Adapt: adaflow.AdaptConfig{Enabled: true},
+	//	})
+	//	fmt.Println(res.Adapt.Swaps, res.Adapt.RecoveredPoints)
+	AdaptConfig = adapt.Config
+	// AdaptStats counts the adaptation loop's actions for a run
+	// (RunStats.Adapt): detections, retrains, swaps, rollbacks, and the
+	// processed-weighted mean accuracy recovered.
+	AdaptStats = metrics.AdaptStats
+	// Retrainer produces retrained candidate libraries for the adaptation
+	// loop; set AdaptConfig.Retrainer to run a real train/prune/Generate
+	// pipeline instead of the analytic default.
+	Retrainer = adapt.Retrainer
 
 	// PoolStats counts fleet supervision actions (RunStats.Pool).
 	PoolStats = metrics.PoolStats

@@ -1,0 +1,282 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/library"
+)
+
+// testLib builds a minimal serving library for state-machine tests; the
+// loop only reads Entries and Version.
+func testLib() *library.Library {
+	return &library.Library{Entries: []library.Entry{{Accuracy: 0.9}, {Accuracy: 0.85}}}
+}
+
+func newTestLoop(t *testing.T, cfg Config) *Loop {
+	t.Helper()
+	cfg.Enabled = true
+	l, err := NewLoop(cfg, testLib(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"threshold>=1":  {Threshold: 1},
+		"neg holddown":  {HoldDown: -1},
+		"neg retrain":   {RetrainTime: -1},
+		"frac>1":        {RecoverFraction: 2},
+		"neg margin":    {ValidateMargin: -0.1},
+		"neg probation": {Probation: -1},
+		"max<backoff":   {Backoff: 4, BackoffMax: 2},
+	} {
+		if _, err := NewLoop(cfg, testLib(), nil); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := NewLoop(Config{}, nil, nil); err == nil {
+		t.Error("nil library accepted")
+	}
+}
+
+// TestSpikeVsSustained: a one-sample accuracy spike decays through the
+// EWMA without triggering; the same depth sustained past the hold-down
+// fires exactly one detection.
+func TestSpikeVsSustained(t *testing.T) {
+	l := newTestLoop(t, Config{Window: 0.5, Threshold: 0.03, HoldDown: 0.25})
+	const dt = 0.01
+	now := 0.0
+	step := func(measured float64) bool {
+		now += dt
+		return l.Observe(now, measured, 0.9)
+	}
+	// Settle at nominal, then one deep spike, then nominal again.
+	for i := 0; i < 50; i++ {
+		step(0.9)
+	}
+	if step(0.6) {
+		t.Fatal("single spike triggered instantly")
+	}
+	for i := 0; i < 200; i++ {
+		if step(0.9) {
+			t.Fatal("decaying spike triggered a detection")
+		}
+	}
+	// Sustained shift of the same depth: must fire once the EWMA crosses
+	// the threshold and holds for HoldDown.
+	fired := false
+	for i := 0; i < 200; i++ {
+		if step(0.6) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("sustained shift never detected")
+	}
+	if s := l.Stats(); s.Detections != 1 {
+		t.Fatalf("detections = %d, want 1", s.Detections)
+	}
+}
+
+// TestFullCycle drives one complete detect → retrain → swap → probation
+// cycle and checks the compensation plumbing along the way.
+func TestFullCycle(t *testing.T) {
+	l := newTestLoop(t, Config{Window: 0.2, Threshold: 0.03, HoldDown: 0.1,
+		RetrainTime: 0.5, RecoverFraction: 0.9, Probation: 0.5})
+	const dt, shift = 0.01, -0.15
+	now, detected := 0.0, math.NaN()
+	for i := 0; i < 200 && math.IsNaN(detected); i++ {
+		now += dt
+		sd := l.Compensate(shift)
+		l.Account(10)
+		if l.Observe(now, 0.9+sd, 0.9) {
+			detected = now
+		}
+	}
+	if math.IsNaN(detected) {
+		t.Fatal("no detection")
+	}
+	if l.PendingSwap() != nil {
+		t.Fatal("pending swap before the retrain finished")
+	}
+	l.FinishRetrain(detected + l.RetrainTime())
+	cand := l.PendingSwap()
+	if cand == nil {
+		t.Fatal("no pending swap after retrain")
+	}
+	if cand.Version != 1 {
+		t.Fatalf("candidate version = %d, want 1", cand.Version)
+	}
+	now = detected + l.RetrainTime()
+	l.Committed(now)
+	if l.Library() != cand {
+		t.Fatal("committed swap did not replace the loop's library")
+	}
+	// Compensation is now active and must not overshoot a shallower (or
+	// absent) shift.
+	if sd := l.Compensate(shift); sd <= shift || sd > 0 {
+		t.Fatalf("compensated shift %v out of (%v, 0]", sd, shift)
+	}
+	if sd := l.Compensate(-0.01); sd != 0 {
+		t.Fatalf("compensation overshot a shallow shift: %v", sd)
+	}
+	if sd := l.Compensate(0); sd != 0 {
+		t.Fatalf("compensation applied with no shift: %v", sd)
+	}
+	// Ride out probation at the compensated accuracy: the swap sticks.
+	for i := 0; i < 100; i++ {
+		now += dt
+		sd := l.Compensate(shift)
+		l.Account(10)
+		l.Observe(now, 0.9+sd, 0.9)
+	}
+	s := l.Stats()
+	if s.Detections != 1 || s.Retrains != 1 || s.Swaps != 1 || s.Rollbacks != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.RecoveredPoints <= 0 {
+		t.Fatalf("recovered points = %v, want > 0", s.RecoveredPoints)
+	}
+}
+
+// failingRetrainer always reports a synthesis failure.
+type failingRetrainer struct{}
+
+func (failingRetrainer) Retrain(*library.Library, float64) (*library.Library, float64, error) {
+	return nil, 0, fmt.Errorf("synthesis failed")
+}
+
+// TestValidationRollbackAndQuarantine: a failed retrain rolls back
+// without ever staging a swap, and quarantines detection for the
+// backoff.
+func TestValidationRollbackAndQuarantine(t *testing.T) {
+	l := newTestLoop(t, Config{Window: 0.2, Threshold: 0.03, HoldDown: 0.1,
+		Backoff: 2, BackoffMax: 16, Retrainer: failingRetrainer{}})
+	const dt = 0.01
+	now, detected := 0.0, math.NaN()
+	for i := 0; i < 200 && math.IsNaN(detected); i++ {
+		now += dt
+		if l.Observe(now, 0.75, 0.9) {
+			detected = now
+		}
+	}
+	if math.IsNaN(detected) {
+		t.Fatal("no detection")
+	}
+	l.FinishRetrain(detected + l.RetrainTime())
+	if l.PendingSwap() != nil {
+		t.Fatal("failed retrain staged a swap")
+	}
+	s := l.Stats()
+	if s.Rollbacks != 1 || s.Swaps != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Inside the quarantine the deficit persists but must not re-detect.
+	now = detected + l.RetrainTime()
+	quarantineEnd := now + 2
+	for now < quarantineEnd-dt {
+		now += dt
+		if l.Observe(now, 0.75, 0.9) {
+			t.Fatalf("re-detected at %v inside quarantine", now)
+		}
+	}
+	// After quarantine + hold-down it fires again.
+	fired := false
+	for i := 0; i < 100; i++ {
+		now += dt
+		if l.Observe(now, 0.75, 0.9) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("never re-detected after quarantine")
+	}
+}
+
+// TestBackoffDoubling: consecutive failures double the quarantine up to
+// BackoffMax, and a success resets the streak.
+func TestBackoffDoubling(t *testing.T) {
+	l := newTestLoop(t, Config{Backoff: 1, BackoffMax: 4, Retrainer: failingRetrainer{}})
+	base := 100.0
+	for i, want := range []float64{1, 2, 4, 4, 4} {
+		l.st = stateRetraining
+		l.deficit = 0.1
+		l.FinishRetrain(base)
+		if got := l.quarantineUntil - base; got != want {
+			t.Fatalf("failure %d: backoff %v, want %v", i+1, got, want)
+		}
+	}
+	if l.consecFails != 5 {
+		t.Fatalf("consecFails = %d", l.consecFails)
+	}
+}
+
+// TestProbationRollback: a swap whose recovery is too shallow fails
+// probation; the prior version is re-installed through the same pending
+// swap path, and the compensation is rolled back with it.
+func TestProbationRollback(t *testing.T) {
+	l := newTestLoop(t, Config{Window: 0.2, Threshold: 0.03, HoldDown: 0.1,
+		RecoverFraction: 0.1, ValidateMargin: 0.001, Probation: 0.3})
+	orig := l.Library()
+	const dt, shift = 0.01, -0.15
+	now, detected := 0.0, math.NaN()
+	for i := 0; i < 200 && math.IsNaN(detected); i++ {
+		now += dt
+		sd := l.Compensate(shift)
+		if l.Observe(now, 0.9+sd, 0.9) {
+			detected = now
+		}
+	}
+	if math.IsNaN(detected) {
+		t.Fatal("no detection")
+	}
+	now = detected + l.RetrainTime()
+	l.FinishRetrain(now)
+	cand := l.PendingSwap()
+	if cand == nil {
+		t.Fatal("no pending swap")
+	}
+	l.Committed(now)
+	// Probation at only 10% compensation: the residual deficit stays past
+	// the threshold, so probation expiry must roll back.
+	for i := 0; i < 100 && l.PendingSwap() == nil; i++ {
+		now += dt
+		sd := l.Compensate(shift)
+		l.Observe(now, 0.9+sd, 0.9)
+	}
+	back := l.PendingSwap()
+	if back != orig {
+		t.Fatalf("rollback staged %p, want the prior version %p", back, orig)
+	}
+	l.Committed(now)
+	if l.Library() != orig {
+		t.Fatal("rollback did not restore the prior version")
+	}
+	if sd := l.Compensate(shift); sd != shift {
+		t.Fatalf("compensation survived the rollback: %v", sd)
+	}
+	s := l.Stats()
+	if s.Swaps != 1 || s.Rollbacks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestRebuildImmutable: Rebuild copies the entries slice, so mutating
+// the candidate never reaches readers of the published version.
+func TestRebuildImmutable(t *testing.T) {
+	lib := testLib()
+	cand := Rebuild(lib)
+	if cand.Version != lib.Version+1 {
+		t.Fatalf("version = %d", cand.Version)
+	}
+	cand.Entries[0].Accuracy = 0.1
+	if lib.Entries[0].Accuracy != 0.9 {
+		t.Fatal("candidate mutation reached the published library")
+	}
+}

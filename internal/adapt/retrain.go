@@ -1,0 +1,60 @@
+package adapt
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/library"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// LibraryRetrainer runs the real design-time pipeline on drift: it
+// retrains a clone of the initial model on the post-shift dataset
+// (internal/train, seeded SGD so the weights are deterministic), then
+// re-prunes and re-synthesizes every entry through the memoized
+// library.Generate pipeline, and reports the accuracy the candidate wins
+// back on the shifted data. Simulation runs default to the analytic
+// SimRetrainer because Generate costs real wall time at paper scale;
+// tests drive this one with tiny models to prove the loop end to end.
+type LibraryRetrainer struct {
+	// Initial is the unpruned model the library was generated from; each
+	// retrain starts from a fresh clone of it.
+	Initial *model.Model
+	// Dataset is the post-shift training data.
+	Dataset *dataset.Dataset
+	// Opts seeds and bounds the retraining run. Opts.Seed is what makes
+	// "same drift ⇒ same retrained weights" hold.
+	Opts train.Options
+	// Gen regenerates the library; Gen.Evaluator measures accuracy on the
+	// shifted distribution. Use the same Rates as the serving library so
+	// entry indices stay valid across the swap.
+	Gen library.Config
+}
+
+// Retrain implements Retrainer. recovered is measured, not assumed:
+// candidate baseline accuracy on the shifted data, minus what the
+// serving library achieves there (its nominal baseline less the deficit).
+func (r *LibraryRetrainer) Retrain(lib *library.Library, deficit float64) (*library.Library, float64, error) {
+	if r.Initial == nil || r.Dataset == nil {
+		return nil, 0, fmt.Errorf("adapt: LibraryRetrainer needs Initial and Dataset")
+	}
+	m, err := r.Initial.Clone()
+	if err != nil {
+		return nil, 0, fmt.Errorf("adapt: clone: %w", err)
+	}
+	tr, err := train.New(r.Opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("adapt: %w", err)
+	}
+	if _, err := tr.Fit(m, r.Dataset); err != nil {
+		return nil, 0, fmt.Errorf("adapt: retrain: %w", err)
+	}
+	cand, err := library.Generate(m, r.Gen)
+	if err != nil {
+		return nil, 0, fmt.Errorf("adapt: regenerate: %w", err)
+	}
+	cand.Version = lib.Version + 1
+	recovered := cand.BaselineAccuracy() - (lib.BaselineAccuracy() - deficit)
+	return cand, recovered, nil
+}

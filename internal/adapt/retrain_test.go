@@ -1,0 +1,68 @@
+package adapt
+
+import (
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/library"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// TestLibraryRetrainerDeterministic proves the real design-time pipeline
+// end to end on a tiny model: retrain a clone of the initial model,
+// regenerate the library, and get the exact same candidate twice —
+// "same drift, same retrained weights" is what keeps adaptive replays
+// bit-identical.
+func TestLibraryRetrainerDeterministic(t *testing.T) {
+	ds := dataset.TinyDataset(1)
+	m, err := model.TinyCNV("tiny", ds.Name, 2, ds.Classes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := train.Options{Epochs: 1, LR: 0.05, BatchSize: 8, Samples: 32, Seed: 7}
+	gen := library.Config{
+		Rates:     []float64{0, 0.25},
+		Evaluator: accuracy.NewTrained(ds, opts),
+	}
+	lib, err := library.Generate(m, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &LibraryRetrainer{Initial: m, Dataset: ds, Opts: opts, Gen: gen}
+	c1, rec1, err := r.Retrain(lib, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, rec2, err := r.Retrain(lib, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1 != rec2 {
+		t.Fatalf("recovered differs across identical retrains: %v vs %v", rec1, rec2)
+	}
+	if len(c1.Entries) != len(lib.Entries) {
+		t.Fatalf("candidate entry count %d, want %d (indices must stay valid)", len(c1.Entries), len(lib.Entries))
+	}
+	for i := range c1.Entries {
+		if c1.Entries[i].Accuracy != c2.Entries[i].Accuracy {
+			t.Fatalf("entry %d accuracy differs: %v vs %v", i, c1.Entries[i].Accuracy, c2.Entries[i].Accuracy)
+		}
+	}
+	if c1.Version != lib.Version+1 {
+		t.Fatalf("candidate version = %d, want %d", c1.Version, lib.Version+1)
+	}
+	// recovered is measured against the drifted serving accuracy: the
+	// candidate baseline minus (serving baseline - deficit).
+	want := c1.BaselineAccuracy() - (lib.BaselineAccuracy() - 0.1)
+	if rec1 != want {
+		t.Fatalf("recovered = %v, want %v", rec1, want)
+	}
+
+	// Missing inputs are synthesis failures, not panics.
+	if _, _, err := (&LibraryRetrainer{}).Retrain(lib, 0.1); err == nil {
+		t.Fatal("retrainer with no inputs succeeded")
+	}
+}

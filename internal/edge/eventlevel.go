@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -48,12 +49,39 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 	}
 	ra, reconfAware := ctl.(ReconfigAware)
 
+	// Closed adaptation loop (see Run): the per-frame analog observes at
+	// completion instants instead of accounting steps. measureDrift is the
+	// shared completion-time kernel for both the single-frame and batched
+	// paths: perturb measured accuracy by the instant's fault deltas (with
+	// active compensation), feed the detector, schedule the background
+	// retrain on detection, and re-offer any validated candidate.
+	var al *adapt.Loop
+	var swapper LibrarySwapper
+	if cfg.Adapt.Enabled {
+		sw, ok := ctl.(LibrarySwapper)
+		if !ok {
+			return nil, fmt.Errorf("edge: Adapt requires a controller with a swappable library, got %T", ctl)
+		}
+		swapper = sw
+		al, err = adapt.NewLoop(cfg.Adapt, sw.ServingLibrary(), tr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var acc metrics.Accumulator
 	res := &Result{}
 
 	serving, _, _, _ := ctl.React(0, wl.Rate())
 	if serving.PowerAt == nil {
 		return nil, fmt.Errorf("edge: controller returned no power model")
+	}
+	if al != nil && reconfAware {
+		// Commit the assumed-successful initial load (see edge.Run): a
+		// manager holding its rollback snapshot refuses library swaps, and
+		// adaptive runs need the swap path open even if no reconfiguration
+		// ever happens again.
+		ra.ReconfigSucceeded(0)
 	}
 	// Per-inference energy implied by the serving power model.
 	eInf := func(s Serving) float64 { return s.PowerAt(1) - s.IdlePower }
@@ -73,6 +101,41 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 			acc.EnergyJ += serving.IdlePower * (now - lastPowerT)
 			lastPowerT = now
 		}
+	}
+
+	// measureDrift perturbs the nominal accuracy of frames frames
+	// completing at done by the instant's evaluator drift and sustained
+	// shift (less any active compensation), and — when adapting — feeds
+	// the detector and drives the retrain/swap state machine.
+	measureDrift := func(done, nominal, frames float64) float64 {
+		measured := nominal
+		d := inj.Drift(done)
+		sd := inj.Sustained(done)
+		if al != nil {
+			sd = al.Compensate(sd)
+		}
+		if d+sd != 0 {
+			measured += d + sd
+			if measured < 0 {
+				measured = 0
+			} else if measured > 1 {
+				measured = 1
+			}
+		}
+		if al != nil {
+			al.Account(frames)
+			if al.Observe(done, measured, nominal) {
+				if err := eng.Schedule(done+al.RetrainTime(), func() {
+					al.FinishRetrain(eng.Now())
+				}); err != nil {
+					panic(err) // forward scheduling cannot fail
+				}
+			}
+			if p := al.PendingSwap(); p != nil && swapper.SwapLibrary(done, p) {
+				al.Committed(done)
+			}
+		}
+		return measured
 	}
 
 	var startService func()
@@ -125,15 +188,7 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 				busy = false
 				done := eng.Now()
 				integrate(done)
-				measured := batchCur.Accuracy
-				if d := inj.Drift(done); d != 0 {
-					measured += d
-					if measured < 0 {
-						measured = 0
-					} else if measured > 1 {
-						measured = 1
-					}
-				}
+				measured := measureDrift(done, batchCur.Accuracy, float64(len(batchBuf)))
 				e := eInf(batchCur)
 				for _, at := range batchBuf {
 					acc.Add(0, 1, 0, measured, e, 0)
@@ -192,17 +247,9 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 			busy = false
 			done := eng.Now()
 			integrate(done)
-			// Evaluator drift perturbs the measured accuracy of this
-			// inference, not the true serving accuracy.
-			measured := cur.Accuracy
-			if d := inj.Drift(done); d != 0 {
-				measured += d
-				if measured < 0 {
-					measured = 0
-				} else if measured > 1 {
-					measured = 1
-				}
-			}
+			// Evaluator drift and sustained shift perturb the measured
+			// accuracy of this inference, not the true serving accuracy.
+			measured := measureDrift(done, cur.Accuracy, 1)
 			acc.Add(0, 1, 0, measured, eInf(cur), 0)
 			latencySum += done - arrivedAt
 			latencyN++
@@ -393,6 +440,9 @@ func RunEventLevel(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOptio
 	acc.Seconds = scn.Duration
 
 	copyFaultCounts(&acc, inj)
+	if al != nil {
+		acc.Adapt = al.Stats()
+	}
 	if rep, ok := ctl.(PoolStatsReporter); ok {
 		acc.Pool = rep.PoolStats()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/fault"
 	"repro/internal/library"
 	"repro/internal/manager"
@@ -128,6 +129,14 @@ type SimConfig struct {
 	BatchConfig
 	FaultConfig
 
+	// Adapt groups the closed-loop drift-recovery knobs (internal/adapt):
+	// detector window/threshold/hold-down, background-retrain latency,
+	// validation margin, probation, and quarantine backoff. It is a named
+	// group (no flat aliases — it postdates the alias era) and requires a
+	// controller implementing LibrarySwapper when enabled. Disabled (the
+	// zero value) keeps runs bit-identical to pre-adaptation behaviour.
+	Adapt adapt.Config
+
 	// Step is the accounting step (default 10 ms).
 	Step float64
 	// QueueFrames aliases AdmissionConfig.QueueFrames.
@@ -166,6 +175,22 @@ type ThresholdChange struct {
 // Manager).
 type ThresholdSetter interface {
 	SetAccuracyThreshold(threshold float64) error
+}
+
+// LibrarySwapper is implemented by controllers whose serving library can
+// be hot-swapped at run time — the serving half of the closed adaptation
+// loop (internal/adapt). The AdaFlow controller delegates to its Runtime
+// Manager; the multiedge pool installs the candidate per board during
+// heartbeats. SwapLibrary must install lib atomically with respect to
+// serving decisions and return true only once every serving manager has
+// committed it; false defers the swap (a manager mid-reconfiguration, a
+// board paying a stall) and the run re-offers the same candidate at the
+// next accounting sample, so serving never stops and no frame is ever
+// served against a half-swapped candidate set.
+type LibrarySwapper interface {
+	SwapLibrary(now float64, lib *library.Library) bool
+	// ServingLibrary returns the library serving decisions are made from.
+	ServingLibrary() *library.Library
 }
 
 // ReconfigAware is implemented by controllers that can survive a failed
@@ -295,6 +320,23 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 	}
 	ra, reconfAware := ctl.(ReconfigAware)
 
+	// Closed adaptation loop: detector + retrain/swap state machine. All
+	// of its transitions happen inside the engine's serial event loop, so
+	// adaptive runs replay bit-identically at any worker count.
+	var al *adapt.Loop
+	var swapper LibrarySwapper
+	if cfg.Adapt.Enabled {
+		sw, ok := ctl.(LibrarySwapper)
+		if !ok {
+			return nil, fmt.Errorf("edge: Adapt requires a controller with a swappable library, got %T", ctl)
+		}
+		swapper = sw
+		al, err = adapt.NewLoop(cfg.Adapt, sw.ServingLibrary(), tr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var acc metrics.Accumulator
 	res := &Result{}
 	var queue float64
@@ -302,6 +344,16 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 	serving, _, _, _ := ctl.React(0, wl.Rate()) // initial load is free for every controller
 	if serving.PowerAt == nil {
 		return nil, fmt.Errorf("edge: controller returned no power model")
+	}
+	if al != nil && reconfAware {
+		// The initial load is assumed to succeed (it is free and cannot
+		// fail), but the managers still hold its rollback snapshot — and a
+		// manager refuses a library swap while a reconfiguration outcome is
+		// outstanding. Commit the initial load so a swap on a controller
+		// that never reconfigures again (a lightly-loaded pool) is not
+		// refused forever. Only done on adaptive runs to keep the disabled
+		// path's traces byte-identical.
+		ra.ReconfigSucceeded(0)
 	}
 
 	extendStall := func(now float64, stall time.Duration) {
@@ -494,11 +546,20 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 
 		procFPS := processed / dt
 		power := serving.PowerAt(procFPS)*avail + serving.IdlePower*stalled
-		// The accuracy evaluator may drift: the measured accuracy of
-		// this step is perturbed, the true serving accuracy is not.
+		// The accuracy evaluator may drift (transient noise) and the input
+		// distribution may shift (sustained drift): both perturb the
+		// measured accuracy of this step, the true serving accuracy is
+		// not changed. Rules are matched by span overlap with the step, so
+		// fluid and event-level runs agree on windows that touch (or fall
+		// between) step boundaries.
 		measured := serving.Accuracy
-		if d := inj.Drift(now); d != 0 {
-			measured += d
+		d := inj.DriftSpan(now-dt, now)
+		sd := inj.SustainedSpan(now-dt, now)
+		if al != nil {
+			sd = al.Compensate(sd)
+		}
+		if d+sd != 0 {
+			measured += d + sd
 			if measured < 0 {
 				measured = 0
 			} else if measured > 1 {
@@ -507,6 +568,19 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 		}
 		acc.Add(arrived, processed, dropped, measured, power*dt, dt)
 		acc.AddQueue(queue, dt)
+		if al != nil {
+			al.Account(processed)
+			if al.Observe(now, measured, serving.Accuracy) {
+				if err := eng.Schedule(now+al.RetrainTime(), func() {
+					al.FinishRetrain(eng.Now())
+				}); err != nil {
+					panic(err) // scheduling forward in time cannot fail
+				}
+			}
+			if p := al.PendingSwap(); p != nil && swapper.SwapLibrary(now, p) {
+				al.Committed(now)
+			}
+		}
 		if cfg.BatchConfig.Size > 1 && processed > 0 && !ctlBatches {
 			// Fluid analog of the event-level micro-batcher: processed
 			// frames accumulate into a carry; every full batch flushes
@@ -573,6 +647,9 @@ func Run(scn Scenario, ctl Controller, cfg SimConfig, opts ...RunOption) (*Resul
 
 	eng.Run(scn.Duration + 1)
 	copyFaultCounts(&acc, inj)
+	if al != nil {
+		acc.Adapt = al.Stats()
+	}
 	if rep, ok := ctl.(PoolStatsReporter); ok {
 		acc.Pool = rep.PoolStats()
 	}
@@ -602,6 +679,7 @@ func copyFaultCounts(acc *metrics.Accumulator, inj *fault.Injector) {
 	acc.Faults.SensorDropouts = c.SensorDropouts
 	acc.Faults.SensorSpikes = c.SensorSpikes
 	acc.Faults.AccuracyDrifts = c.AccuracyDrifts
+	acc.Faults.SustainedDrifts = c.SustainedDrifts
 	acc.Faults.BoardCrashes = c.BoardCrashes
 	acc.Faults.BoardHangs = c.BoardHangs
 	acc.Faults.FrameCorruptions = c.FrameCorruptions
@@ -717,6 +795,17 @@ func (c *AdaFlowController) ReconfigFailed(now float64) (time.Duration, bool) {
 // ReconfigSucceeded implements ReconfigAware.
 func (c *AdaFlowController) ReconfigSucceeded(now float64) {
 	c.mgr.ReconfigSucceeded(now)
+}
+
+// SwapLibrary implements LibrarySwapper by delegating to the Runtime
+// Manager, which refuses the swap while a reconfiguration is in flight.
+func (c *AdaFlowController) SwapLibrary(now float64, lib *library.Library) bool {
+	return c.mgr.SwapLibrary(now, lib)
+}
+
+// ServingLibrary implements LibrarySwapper.
+func (c *AdaFlowController) ServingLibrary() *library.Library {
+	return c.mgr.Library()
 }
 
 // React implements Controller.

@@ -15,6 +15,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -36,6 +37,16 @@ type Kind int
 // serving accuracy (evaluator noise — the true model accuracy is
 // unchanged).
 //
+// DriftSustained models real distribution shift rather than evaluator
+// noise: a single engage draw per rule (at the first query inside its
+// window) decides whether the shift happens at all, and an engaged rule
+// then lowers measured accuracy by Mag for as long as its window is
+// active — ramping toward Mag at Slope accuracy-points/second when Slope
+// is set (a step change otherwise), and recovering on its own Hold
+// seconds after reaching full magnitude when Hold is set. It is the
+// fault class the closed adaptation loop (internal/adapt) detects and
+// retrains against.
+//
 // The board-level classes are drawn by a pool supervisor at heartbeat
 // times, per board (Injector.Board). BoardCrash kills a board outright
 // until it is repaired; BoardHang makes a board stop answering heartbeats
@@ -49,6 +60,7 @@ const (
 	SensorDropout
 	SensorSpike
 	AccuracyDrift
+	DriftSustained
 	BoardCrash
 	BoardHang
 	FrameCorrupt
@@ -57,15 +69,16 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	ReconfigFail:  "reconfig-fail",
-	ReconfigStall: "reconfig-stall",
-	SensorDropout: "sensor-dropout",
-	SensorSpike:   "sensor-spike",
-	AccuracyDrift: "accuracy-drift",
-	BoardCrash:    "board-crash",
-	BoardHang:     "board-hang",
-	FrameCorrupt:  "frame-corrupt",
-	BoardBrownout: "board-brownout",
+	ReconfigFail:   "reconfig-fail",
+	ReconfigStall:  "reconfig-stall",
+	SensorDropout:  "sensor-dropout",
+	SensorSpike:    "sensor-spike",
+	AccuracyDrift:  "accuracy-drift",
+	DriftSustained: "drift-sustained",
+	BoardCrash:     "board-crash",
+	BoardHang:      "board-hang",
+	FrameCorrupt:   "frame-corrupt",
+	BoardBrownout:  "board-brownout",
 }
 
 // boardLevel reports whether the kind is a per-board fault (drawn by the
@@ -85,8 +98,9 @@ func (k Kind) String() string {
 
 // defaultMag is the per-kind magnitude used when a rule leaves Mag unset:
 // stalls take 3× the nominal time, spikes scale observations by up to
-// ±100 %, drift subtracts 5 accuracy points, corruption garbles 20 % of a
-// board's frames, a brownout halves a board's throughput.
+// ±100 %, drift subtracts 5 accuracy points, sustained drift 10 points,
+// corruption garbles 20 % of a board's frames, a brownout halves a
+// board's throughput.
 func defaultMag(k Kind) float64 {
 	switch k {
 	case ReconfigStall:
@@ -95,6 +109,8 @@ func defaultMag(k Kind) float64 {
 		return 1
 	case AccuracyDrift:
 		return -0.05
+	case DriftSustained:
+		return -0.10
 	case FrameCorrupt:
 		return 0.2
 	case BoardBrownout:
@@ -132,9 +148,18 @@ type Rule struct {
 	// Mag is the kind-specific magnitude: the stall factor (ReconfigStall,
 	// ≥ 1), the relative spike amplitude (SensorSpike: observations scale
 	// by 1 + U(−Mag, +Mag)), the accuracy delta (AccuracyDrift), the
-	// corrupted-frame fraction in (0,1] (FrameCorrupt), or the throughput
-	// factor in (0,1) (BoardBrownout). Zero selects the kind's default.
+	// corrupted-frame fraction in (0,1] (FrameCorrupt), the throughput
+	// factor in (0,1) (BoardBrownout), or the full shift depth
+	// (DriftSustained). Zero selects the kind's default.
 	Mag float64
+	// Slope ramps a DriftSustained rule toward Mag at this many
+	// accuracy-points per second from window start; 0 is a step change to
+	// full magnitude. Only valid on DriftSustained.
+	Slope float64
+	// Hold makes an engaged DriftSustained rule recover on its own this
+	// many seconds after reaching full magnitude; 0 holds the shift until
+	// the window closes. Only valid on DriftSustained.
+	Hold float64
 	// Board targets a board-level rule at one 0-based board index;
 	// AnyBoard (the ParsePlan default) targets every board. Only valid on
 	// board-level kinds. Note the zero value targets board 0 — rules built
@@ -151,6 +176,14 @@ type Rule struct {
 // active reports whether the rule's window covers time t.
 func (r Rule) active(t float64) bool {
 	return t >= r.Start && (r.End <= 0 || t < r.End)
+}
+
+// overlaps reports whether the rule's half-open window [Start, End)
+// overlaps the half-open span [from, to). An instant t is the degenerate
+// span [t, t+0) under active, so the two predicates agree wherever both
+// apply.
+func (r Rule) overlaps(from, to float64) bool {
+	return r.Start < to && (r.End <= 0 || r.End > from)
 }
 
 // Validate checks one rule.
@@ -172,6 +205,15 @@ func (r Rule) Validate() error {
 	}
 	if r.Kind == SensorSpike && r.Mag < 0 {
 		return fmt.Errorf("fault: %s amplitude %v negative", r.Kind, r.Mag)
+	}
+	if r.Kind != DriftSustained && (r.Slope != 0 || r.Hold != 0) {
+		return fmt.Errorf("fault: %s does not take slope/hold ramp parameters", r.Kind)
+	}
+	if r.Slope < 0 {
+		return fmt.Errorf("fault: %s slope %v negative", r.Kind, r.Slope)
+	}
+	if r.Hold < 0 {
+		return fmt.Errorf("fault: %s hold %v negative", r.Kind, r.Hold)
 	}
 	if !boardLevel(r.Kind) {
 		if r.Board != 0 && r.Board != AnyBoard {
@@ -227,6 +269,14 @@ func (p *Plan) String() string {
 		if r.Mag != 0 {
 			s += fmt.Sprintf(",mag=%v", r.Mag)
 		}
+		if r.Kind == DriftSustained {
+			if r.Slope != 0 {
+				s += fmt.Sprintf(",slope=%v", r.Slope)
+			}
+			if r.Hold != 0 {
+				s += fmt.Sprintf(",hold=%v", r.Hold)
+			}
+		}
 		if boardLevel(r.Kind) {
 			if r.Board != AnyBoard {
 				s += fmt.Sprintf(",board=%d", r.Board)
@@ -245,9 +295,12 @@ func (p *Plan) String() string {
 //
 //	reconfig-fail:p=0.7,start=2,end=12;sensor-dropout:p=0.25;sensor-spike:p=0.2,mag=1.5
 //	board-crash:p=1,start=5,end=5.3,board=1,repair=8;board-brownout:p=0.1,mag=0.4
+//	drift-sustained:p=1,start=5,mag=-0.15,slope=0.05,hold=10
 //
 // Keys: p (probability, required), start, end (window seconds), mag
-// (kind-specific magnitude), and — for board-level kinds only — board
+// (kind-specific magnitude), slope and hold (DriftSustained ramp rate in
+// points/sec and self-recovery delay — omit both for a step shift held
+// until the window closes), and — for board-level kinds only — board
 // (0-based target board; omitted = every board) and repair (fault
 // duration in seconds). An unknown kind or parameter is a hard parse
 // error (with a did-you-mean hint for near-misses); unknown faults never
@@ -304,13 +357,25 @@ func ParsePlan(spec string) (*Plan, error) {
 					r.End = f
 				case "mag":
 					r.Mag = f
+				case "slope":
+					if kind != DriftSustained {
+						return nil, fmt.Errorf("fault: rule %q: slope= is only valid for drift-sustained", part)
+					}
+					r.Slope = f
+				case "hold":
+					if kind != DriftSustained {
+						return nil, fmt.Errorf("fault: rule %q: hold= is only valid for drift-sustained", part)
+					}
+					r.Hold = f
 				case "repair":
 					if !boardLevel(kind) {
 						return nil, fmt.Errorf("fault: rule %q: repair= is only valid for board-level kinds", part)
 					}
 					r.Repair = f
 				default:
-					return nil, fmt.Errorf("fault: rule %q: unknown parameter %q (known: p, start, end, mag, board, repair)", part, key)
+					known := []string{"p", "start", "end", "mag", "slope", "hold", "board", "repair"}
+					return nil, fmt.Errorf("fault: rule %q: unknown parameter %q%s (known: %s)",
+						part, key, DidYouMean(key, known), strings.Join(known, ", "))
 				}
 			}
 		}
@@ -395,6 +460,7 @@ type Counts struct {
 	SensorDropouts   int
 	SensorSpikes     int
 	AccuracyDrifts   int
+	SustainedDrifts  int
 	BoardCrashes     int
 	BoardHangs       int
 	FrameCorruptions int
@@ -409,6 +475,14 @@ type Injector struct {
 	plan    Plan
 	streams [numKinds]*rand.Rand
 	counts  Counts
+
+	// sustainedDecided/-Engaged hold the one engage draw each
+	// DriftSustained rule gets: decided flips at the first query inside
+	// the rule's window, engaged records whether the draw fired. One draw
+	// per rule — never per query — keeps the stream consumption (and so
+	// the whole run) independent of how densely the injector is polled.
+	sustainedDecided []bool
+	sustainedEngaged []bool
 
 	// failStreak counts consecutive reconfiguration failures, so the
 	// tracer can mark the recovery when a later attempt goes through.
@@ -433,6 +507,8 @@ func NewInjector(p *Plan, seed int64) (*Injector, error) {
 		}
 		in.plan.Rules = append(in.plan.Rules, p.Rules...)
 	}
+	in.sustainedDecided = make([]bool, len(in.plan.Rules))
+	in.sustainedEngaged = make([]bool, len(in.plan.Rules))
 	for k := Kind(0); k < numKinds; k++ {
 		in.streams[k] = sim.RNG(seed, "fault/"+kindNames[k])
 	}
@@ -612,8 +688,10 @@ func (in *Injector) Observe(now, actual float64) (obs float64, ok bool) {
 	return obs, true
 }
 
-// Drift draws the accuracy-evaluator drift at time now: the delta to add
-// to the measured serving accuracy (0 when inactive).
+// Drift draws the accuracy-evaluator drift at the instant now: the delta
+// to add to the measured serving accuracy (0 when inactive). RunEventLevel
+// calls it at each frame-completion instant; the fluid loop accounts in
+// steps and uses DriftSpan so the two modes share boundary semantics.
 func (in *Injector) Drift(now float64) float64 {
 	if drifted, mag := in.fires(AccuracyDrift, now); drifted {
 		in.counts.AccuracyDrifts++
@@ -621,6 +699,122 @@ func (in *Injector) Drift(now float64) float64 {
 		return mag
 	}
 	return 0
+}
+
+// firesSpan is fires with span-overlap activity: a rule is eligible iff
+// its window overlaps [from, to). Like fires, the first eligible rule that
+// fires wins and each eligible rule consumes exactly one draw.
+func (in *Injector) firesSpan(kind Kind, from, to float64) (bool, float64) {
+	for _, r := range in.plan.Rules {
+		if r.Kind != kind || !r.overlaps(from, to) {
+			continue
+		}
+		if in.streams[kind].Float64() < r.Prob {
+			mag := r.Mag
+			if mag == 0 {
+				mag = defaultMag(kind)
+			}
+			return true, mag
+		}
+	}
+	return false, 0
+}
+
+// DriftSpan draws the accuracy-evaluator drift for the accounting span
+// [from, to): a rule is eligible iff its window overlaps the span. This is
+// the fluid-mode counterpart of Drift, and the two agree on boundary
+// semantics by construction: a window starting exactly on a step boundary
+// perturbs the step that begins there (never the step that ends there),
+// and a sub-step window that contains no step boundary still perturbs
+// exactly the one step it overlaps — an instant is just a zero-width span.
+// For open-ended always-on windows the two predicates select identical
+// rule sets at every query, so the draw streams match query for query.
+func (in *Injector) DriftSpan(from, to float64) float64 {
+	if drifted, mag := in.firesSpan(AccuracyDrift, from, to); drifted {
+		in.counts.AccuracyDrifts++
+		in.inject(to, AccuracyDrift, mag)
+		return mag
+	}
+	return 0
+}
+
+// sustainedDelta evaluates one engaged sustained-drift rule's profile at
+// time t: ramp toward full magnitude at Slope points/sec (step when
+// Slope = 0), then hold, then — when Hold is set — self-recover.
+func (r Rule) sustainedDelta(t float64) float64 {
+	mag := r.Mag
+	if mag == 0 {
+		mag = defaultMag(DriftSustained)
+	}
+	elapsed := t - r.Start
+	if elapsed < 0 {
+		return 0
+	}
+	ramp := 0.0
+	if r.Slope > 0 {
+		ramp = math.Abs(mag) / r.Slope
+	}
+	if r.Hold > 0 && elapsed >= ramp+r.Hold {
+		return 0
+	}
+	if elapsed < ramp {
+		return mag * (elapsed / ramp)
+	}
+	return mag
+}
+
+// sustainedAt sums the deltas of engaged DriftSustained rules selected by
+// the activity predicate act, with profiles evaluated at eval (clamped
+// into each rule's window). Engage draws happen here, one per rule, at
+// the first query its window covers.
+func (in *Injector) sustainedAt(act func(Rule) bool, eval float64) float64 {
+	var delta float64
+	for i, r := range in.plan.Rules {
+		if r.Kind != DriftSustained || !act(r) {
+			continue
+		}
+		if !in.sustainedDecided[i] {
+			in.sustainedDecided[i] = true
+			in.sustainedEngaged[i] = in.streams[DriftSustained].Float64() < r.Prob
+			if in.sustainedEngaged[i] {
+				mag := r.Mag
+				if mag == 0 {
+					mag = defaultMag(DriftSustained)
+				}
+				in.inject(eval, DriftSustained, mag)
+			}
+		}
+		if !in.sustainedEngaged[i] {
+			continue
+		}
+		t := eval
+		if r.End > 0 && t > r.End {
+			t = r.End
+		}
+		if t < r.Start {
+			t = r.Start
+		}
+		delta += r.sustainedDelta(t)
+	}
+	if delta != 0 {
+		in.counts.SustainedDrifts++
+	}
+	return delta
+}
+
+// Sustained draws the sustained distribution shift at the instant now:
+// the delta to add to the measured serving accuracy (0 when no engaged
+// rule is active). RunEventLevel calls it per frame completion.
+func (in *Injector) Sustained(now float64) float64 {
+	return in.sustainedAt(func(r Rule) bool { return r.active(now) }, now)
+}
+
+// SustainedSpan is Sustained for the fluid loop's accounting span
+// [from, to): rule windows are matched by overlap (the DriftSpan boundary
+// contract) and profiles are evaluated at the span end, clamped into each
+// rule's window.
+func (in *Injector) SustainedSpan(from, to float64) float64 {
+	return in.sustainedAt(func(r Rule) bool { return r.overlaps(from, to) }, to)
 }
 
 // Counts returns the faults injected so far.

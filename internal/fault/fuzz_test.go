@@ -19,6 +19,10 @@ func FuzzParsePlan(f *testing.F) {
 		"board-crash:p=1,board=0,start=5,end=5.05,repair=60",
 		"board-hang:p=0.5,repair=3;frame-corrupt:p=0.2,mag=0.5",
 		"board-brownout:p=0.1,mag=0.4,board=2",
+		"drift-sustained:p=1,start=3,mag=-0.2,slope=0.1,hold=5",
+		"drift-sustained:p=0.5,start=0,end=4",
+		"accuracy-drift:p=1,slope=0.1",
+		"drift-sustained:p=1,slope=-1",
 		"board-cras:p=1",
 		"reconfig-fail:p=0.5,wat=3",
 		"board-crash:p=0.5,board=-2",
@@ -62,8 +66,11 @@ func FuzzParsePlan(f *testing.F) {
 			in.Reconfig(now)
 			in.Observe(now, 100)
 			in.Drift(now)
+			in.Sustained(now)
 			in.Board(now, 0)
 		}
+		in.DriftSpan(0, 5.05)
+		in.SustainedSpan(0, 5.05)
 		_ = strings.TrimSpace(plan.String())
 	})
 }

@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePlanSustained(t *testing.T) {
+	p, err := ParsePlan("drift-sustained:p=1,start=3,mag=-0.2,slope=0.1,hold=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if r.Kind != DriftSustained || r.Prob != 1 || r.Start != 3 || r.Mag != -0.2 || r.Slope != 0.1 || r.Hold != 5 {
+		t.Fatalf("rule = %+v", r)
+	}
+	// String() renders slope/hold back into a spec ParsePlan accepts.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round trip %q: %v", p.String(), err)
+	}
+	if p2.Rules[0] != r {
+		t.Fatalf("round trip: %+v != %+v", p2.Rules[0], r)
+	}
+}
+
+func TestParsePlanSustainedErrors(t *testing.T) {
+	for _, spec := range []string{
+		"accuracy-drift:p=1,slope=0.1",      // slope on the wrong kind
+		"reconfig-fail:p=1,hold=2",          // hold on the wrong kind
+		"drift-sustained:p=1,slope=-0.1",    // negative slope
+		"drift-sustained:p=1,hold=-1",       // negative hold
+		"drift-sustained:p=1,board=2",       // not a board-level kind
+		"drift-sustained:p=1,start=5,end=2", // empty window
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+// TestParsePlanUnknownParamHint: a misspelled parameter gets a
+// did-you-mean hint toward the known parameter names.
+func TestParsePlanUnknownParamHint(t *testing.T) {
+	_, err := ParsePlan("drift-sustained:p=1,slop=0.1")
+	if err == nil {
+		t.Fatal("misspelled param accepted")
+	}
+	if !strings.Contains(err.Error(), "slope") {
+		t.Fatalf("error %q has no did-you-mean hint toward %q", err, "slope")
+	}
+}
+
+// TestSustainedProfile: the engaged rule's delta ramps at Slope
+// points/sec, plateaus at Mag, and self-recovers after Hold.
+func TestSustainedProfile(t *testing.T) {
+	r := Rule{Kind: DriftSustained, Prob: 1, Start: 10, Mag: -0.2, Slope: 0.1, Hold: 5}
+	for _, tc := range []struct {
+		t, want float64
+	}{
+		{9, 0},     // before the window
+		{10, 0},    // ramp starts at zero
+		{11, -0.1}, // mid-ramp: 1 s at 0.1 points/s
+		{12, -0.2}, // full magnitude (|mag|/slope = 2 s ramp)
+		{14, -0.2}, // holding
+		{17, 0},    // recovered: ramp (2 s) + hold (5 s) elapsed
+	} {
+		if got := r.sustainedDelta(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("delta(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	// Slope = 0 is a step to full magnitude.
+	step := Rule{Kind: DriftSustained, Prob: 1, Start: 10, Mag: -0.2}
+	if got := step.sustainedDelta(10); got != -0.2 {
+		t.Errorf("step delta at start = %v", got)
+	}
+}
+
+// TestSustainedEngageOnce: the engage draw happens once per rule at the
+// first query inside its window, so RNG stream consumption is
+// independent of how densely the run polls — dense and sparse polling
+// leave the per-kind stream in the same state.
+func TestSustainedEngageOnce(t *testing.T) {
+	plan, err := ParsePlan("drift-sustained:p=0.5,start=2,mag=-0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dt float64) (engaged bool, draws float64) {
+		in, err := NewInjector(plan, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for now := dt; now <= 10; now += dt {
+			if in.Sustained(now) != 0 {
+				engaged = true
+			}
+		}
+		// A sentinel draw exposes the stream position after the run.
+		return engaged, in.streams[DriftSustained].Float64()
+	}
+	eDense, sDense := run(0.005)
+	eSparse, sSparse := run(0.5)
+	if eDense != eSparse {
+		t.Fatalf("engagement differs across polling density: %v vs %v", eDense, eSparse)
+	}
+	if sDense != sSparse {
+		t.Fatalf("stream position differs across polling density: %v vs %v", sDense, sSparse)
+	}
+}
+
+// TestSustainedSpanMatchesInstant: for the same plan and seed, fluid
+// (span) and event-level (instant) queries agree on the delta sequence
+// when polled at the same times — except on the one span that contains
+// the window close, where the span correctly accounts the drifted
+// sub-span while the instant query at the span end already sees the
+// half-open window shut.
+func TestSustainedSpanMatchesInstant(t *testing.T) {
+	plan, err := ParsePlan("drift-sustained:p=1,start=2,end=8,mag=-0.2,slope=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInjector(plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := NewInjector(plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.1
+	end := plan.Rules[0].End
+	for i := 1; float64(i)*dt <= 10; i++ {
+		now := float64(i) * dt
+		from := now - dt
+		a := inst.Sustained(now)
+		b := span.SustainedSpan(from, now)
+		if from < end && end <= now {
+			// The closing span: its content [from, end) is drifted, so the
+			// span accounts the full (clamped) profile while the instant
+			// query at now sees the window closed.
+			if a != 0 || b != -0.2 {
+				t.Fatalf("closing span: instant %v, span %v", a, b)
+			}
+			continue
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("t=%v: instant %v vs span %v", now, a, b)
+		}
+	}
+	if span.Counts().SustainedDrifts == 0 {
+		t.Fatal("sustained drift never perturbed a sample")
+	}
+}
+
+// TestDriftSpanBoundarySemantics: a fault window starting exactly on a
+// step boundary perturbs the step that begins there, never the step that
+// ends there; sub-step windows still perturb exactly the one step they
+// overlap.
+func TestDriftSpanBoundarySemantics(t *testing.T) {
+	plan, err := ParsePlan("accuracy-drift:p=1,start=5,end=6,mag=-0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.DriftSpan(4.99, 5); d != 0 {
+		t.Fatalf("step ending on window start drifted: %v", d)
+	}
+	if d := in.DriftSpan(5, 5.01); d != -0.05 {
+		t.Fatalf("step beginning on window start did not drift: %v", d)
+	}
+	if d := in.DriftSpan(6, 6.01); d != 0 {
+		t.Fatalf("step beginning on window end drifted: %v", d)
+	}
+
+	// A sub-step window between two step boundaries perturbs exactly the
+	// one step containing it.
+	sub, err := ParsePlan("accuracy-drift:p=1,start=4.991,end=4.999,mag=-0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := NewInjector(sub, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for now := 0.005; now < 10; now += 0.005 {
+		if in2.DriftSpan(now-0.005, now) != 0 {
+			hits++
+		}
+	}
+	if hits != 2 { // [4.990,4.995) and [4.995,5.000) both overlap the window
+		t.Fatalf("sub-step window perturbed %d steps, want 2", hits)
+	}
+
+	// A window starting at t=0 perturbs the very first step.
+	zero, err := ParsePlan("accuracy-drift:p=1,start=0,end=0.004,mag=-0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in3, err := NewInjector(zero, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in3.DriftSpan(0, 0.005); d != -0.05 {
+		t.Fatalf("t=0 window missed the first step: %v", d)
+	}
+}
+
+// TestDriftSpanOverlappingWindows: with two overlapping drift rules the
+// first eligible rule that fires wins and each eligible rule consumes
+// exactly one draw per query, same as the instant-mode contract.
+func TestDriftSpanOverlappingWindows(t *testing.T) {
+	plan, err := ParsePlan("accuracy-drift:p=0,start=2,end=8,mag=-0.01;accuracy-drift:p=1,start=4,end=6,mag=-0.09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the second rule's window: its p=1 always wins (the first rule
+	// drew too, at p=0, and never fires).
+	if d := in.DriftSpan(4.5, 4.6); d != -0.09 {
+		t.Fatalf("overlap span = %v, want -0.09", d)
+	}
+	// Outside both windows: no draw at all.
+	if d := in.DriftSpan(9, 9.1); d != 0 {
+		t.Fatalf("inactive span drifted: %v", d)
+	}
+
+	// Instant mode with the same seed agrees on the overlap region.
+	in2, err := NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in2.Drift(4.55); d != -0.09 {
+		t.Fatalf("instant overlap = %v, want -0.09", d)
+	}
+}

@@ -96,6 +96,12 @@ type Library struct {
 	FlexSwitchTime time.Duration
 	// Stats describes the generation run that produced this library.
 	Stats GenStats
+	// Version numbers the library across runtime hot-swaps: Generate
+	// produces version 0, and each retrained candidate the closed
+	// adaptation loop (internal/adapt) installs bumps it by one. Serving
+	// components treat a *Library as immutable once published — a swap
+	// replaces the pointer, never the entries behind it.
+	Version int
 }
 
 // Config parameterizes library generation.

@@ -227,6 +227,33 @@ func New(lib *library.Library, cfg Config) (*Manager, error) {
 // Library returns the manager's library.
 func (m *Manager) Library() *library.Library { return m.lib }
 
+// SwapLibrary atomically replaces the manager's candidate set with lib —
+// the serving half of the closed adaptation loop (internal/adapt). The
+// swap is refused (returns false) while a reconfiguration is in flight,
+// i.e. between Decide and ReconfigSucceeded/ReconfigFailed: the rollback
+// snapshot indexes into the old library, so swapping mid-decision could
+// commit or roll back a decision against entries it was never made for.
+// A nil candidate or one whose entry count differs is also refused —
+// decisions, the rollback snapshot, and cached serving parameters all
+// address entries by index, and those indices must stay valid across the
+// swap. Callers retry a refused swap later (the edge loop re-offers the
+// candidate each accounting sample; the pool each heartbeat).
+func (m *Manager) SwapLibrary(now float64, lib *library.Library) bool {
+	if lib == nil || len(lib.Entries) != len(m.lib.Entries) {
+		return false
+	}
+	if m.haveSnap {
+		return false
+	}
+	m.lib = lib
+	if m.trace.Enabled() {
+		m.trace.Emit(now, obs.ManagerCat, "swap-library",
+			obs.I("version", lib.Version),
+			obs.I("entries", len(lib.Entries)))
+	}
+	return true
+}
+
 // SetTracer attaches an observability trace (nil detaches). The edge
 // simulation wires the run's tracer through here (edge.TracerAware).
 func (m *Manager) SetTracer(tr *obs.Trace) { m.trace = tr }

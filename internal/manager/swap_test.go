@@ -1,0 +1,116 @@
+package manager
+
+import (
+	"testing"
+
+	"repro/internal/library"
+)
+
+// rebuilt returns a version-bumped copy of lib with the entries slice
+// copied, the shape the adapt loop's retrainers produce.
+func rebuilt(lib *library.Library) *library.Library {
+	c := *lib
+	c.Entries = append([]library.Entry(nil), lib.Entries...)
+	c.Version = lib.Version + 1
+	return &c
+}
+
+// TestSwapLibraryCommits: a swap with no reconfiguration in flight
+// replaces the serving library atomically.
+func TestSwapLibraryCommits(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := rebuilt(lib)
+	if !mgr.SwapLibrary(1, cand) {
+		t.Fatal("swap refused with no reconfiguration outstanding")
+	}
+	if mgr.Library() != cand {
+		t.Fatal("serving library did not change")
+	}
+	if mgr.Library().Version != 1 {
+		t.Fatalf("version = %d, want 1", mgr.Library().Version)
+	}
+}
+
+// TestSwapLibraryRefusedMidReconfig: between a reconfiguring Decide and
+// its ReconfigSucceeded/Failed outcome the manager's state is
+// snapshot-pending, and a swap must be refused — the decision indexes
+// into the library the decide ran against.
+func TestSwapLibraryRefusedMidReconfig(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := mgr.Decide(0, 600) // initial load: a reconfiguration
+	if !d.Reconfigured {
+		t.Fatalf("initial decision not a reconfiguration: %+v", d)
+	}
+	cand := rebuilt(lib)
+	if mgr.SwapLibrary(0.1, cand) {
+		t.Fatal("swap accepted mid-reconfiguration")
+	}
+	if mgr.Library() != lib {
+		t.Fatal("refused swap still replaced the library")
+	}
+	mgr.ReconfigSucceeded(0.2)
+	if !mgr.SwapLibrary(0.3, cand) {
+		t.Fatal("swap refused after the reconfiguration committed")
+	}
+	if mgr.Library() != cand {
+		t.Fatal("serving library did not change after commit")
+	}
+}
+
+// TestSwapLibraryRefusedAcrossRollback: a swap offered while a failed
+// reconfiguration is still unresolved is refused; once ReconfigFailed
+// rolls the decision back the swap goes through and later decisions
+// select from the new version.
+func TestSwapLibraryRefusedAcrossRollback(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Decide(0, 600)
+	cand := rebuilt(lib)
+	if mgr.SwapLibrary(0.1, cand) {
+		t.Fatal("swap accepted with reconfiguration outcome outstanding")
+	}
+	mgr.ReconfigFailed(0.2)
+	if !mgr.SwapLibrary(0.3, cand) {
+		t.Fatal("swap refused after rollback resolved the reconfiguration")
+	}
+	if _, changed := mgr.Decide(1, 600); !changed {
+		// The rolled-back manager has no current decision, so the next
+		// decide must produce one — from the swapped library.
+		t.Fatal("post-swap decide produced no decision")
+	}
+	if mgr.Library() != cand {
+		t.Fatal("post-swap library lost")
+	}
+}
+
+// TestSwapLibraryShapeGuard: candidates that would invalidate entry
+// indices (different entry count) or are nil are refused.
+func TestSwapLibraryShapeGuard(t *testing.T) {
+	lib := paperLib(t)
+	mgr, err := New(lib, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.SwapLibrary(1, nil) {
+		t.Fatal("nil library accepted")
+	}
+	short := rebuilt(lib)
+	short.Entries = short.Entries[:len(short.Entries)-1]
+	if mgr.SwapLibrary(1, short) {
+		t.Fatal("entry-count mismatch accepted")
+	}
+	if mgr.Library() != lib {
+		t.Fatal("refused swap replaced the library")
+	}
+}

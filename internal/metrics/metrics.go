@@ -24,6 +24,7 @@ type Accumulator struct {
 	Drops       DropStats
 	Pool        PoolStats
 	Batch       BatchStats
+	Adapt       AdaptStats
 
 	// queue occupancy integral (frames·seconds) and peak, for latency
 	// estimates via Little's law.
@@ -286,6 +287,10 @@ type FaultStats struct {
 	// AccuracyDrifts: accounting steps whose measured accuracy was
 	// perturbed by evaluator drift.
 	AccuracyDrifts int
+	// SustainedDrifts: accounting steps (fluid) or frames (event-level)
+	// whose measured accuracy was lowered by an engaged sustained
+	// distribution shift (fault kind drift-sustained).
+	SustainedDrifts int
 	// Degradations: times a Runtime Manager exhausted its reconfiguration
 	// retry budget and fell back to the Flexible accelerator.
 	Degradations int
@@ -295,6 +300,25 @@ type FaultStats struct {
 	BoardHangs       int
 	FrameCorruptions int
 	BoardBrownouts   int
+}
+
+// AdaptStats counts the closed-loop drift-recovery actions of a run
+// (internal/adapt); all zero when adaptation is disabled.
+type AdaptStats struct {
+	// Detections: sustained-drift detections that triggered a background
+	// retrain.
+	Detections int
+	// Retrains: background retrains completed (whether or not the
+	// candidate passed validation).
+	Retrains int
+	// Swaps: candidate libraries hot-swapped into serving.
+	Swaps int
+	// Rollbacks: failed candidates — validation failures and probation
+	// regressions — each charging the quarantine backoff.
+	Rollbacks int
+	// RecoveredPoints is the processed-weighted mean accuracy the active
+	// compensation won back, in accuracy points on the [0,1] scale.
+	RecoveredPoints float64
 }
 
 // AddQueue records the queue occupancy over a dt-long step.
@@ -337,6 +361,9 @@ type RunStats struct {
 	Pool PoolStats
 	// Batch summarizes micro-batched service (zero for Batch <= 1 runs).
 	Batch BatchStats
+	// Adapt counts closed-loop drift-recovery actions (zero when the
+	// SimConfig Adapt group is disabled).
+	Adapt AdaptStats
 	// AvgQueueFrames is the time-averaged server queue occupancy;
 	// AvgLatencyMS the implied mean queueing delay of a processed frame
 	// (Little's law: L = λ·W); MaxQueueFrames the peak occupancy.
@@ -358,6 +385,7 @@ func (a *Accumulator) Finalize() RunStats {
 		Drops:     a.Drops,
 		Pool:      a.Pool,
 		Batch:     a.Batch,
+		Adapt:     a.Adapt,
 	}
 	if a.Arrived > 0 {
 		s.FrameLossPct = 100 * a.Dropped / a.Arrived
@@ -416,6 +444,7 @@ func Mean(runs []RunStats) (RunStats, error) {
 		m.Batch.FullFlushes += r.Batch.FullFlushes / n
 		m.Batch.SlackFlushes += r.Batch.SlackFlushes / n
 		m.Batch.IdleFlushes += r.Batch.IdleFlushes / n
+		m.Adapt.RecoveredPoints += r.Adapt.RecoveredPoints / n
 		if r.Batch.MaxBatch > m.Batch.MaxBatch {
 			m.Batch.MaxBatch = r.Batch.MaxBatch
 		}
@@ -424,8 +453,9 @@ func Mean(runs []RunStats) (RunStats, error) {
 		}
 	}
 	var sw, rc float64
-	var ft [10]float64
+	var ft [11]float64
 	var pl [5]float64
+	var ad [4]float64
 	for _, r := range runs {
 		sw += float64(r.Switches)
 		rc += float64(r.Reconfigs)
@@ -434,16 +464,21 @@ func Mean(runs []RunStats) (RunStats, error) {
 		ft[2] += float64(r.Faults.SensorDropouts)
 		ft[3] += float64(r.Faults.SensorSpikes)
 		ft[4] += float64(r.Faults.AccuracyDrifts)
-		ft[5] += float64(r.Faults.Degradations)
-		ft[6] += float64(r.Faults.BoardCrashes)
-		ft[7] += float64(r.Faults.BoardHangs)
-		ft[8] += float64(r.Faults.FrameCorruptions)
-		ft[9] += float64(r.Faults.BoardBrownouts)
+		ft[5] += float64(r.Faults.SustainedDrifts)
+		ft[6] += float64(r.Faults.Degradations)
+		ft[7] += float64(r.Faults.BoardCrashes)
+		ft[8] += float64(r.Faults.BoardHangs)
+		ft[9] += float64(r.Faults.FrameCorruptions)
+		ft[10] += float64(r.Faults.BoardBrownouts)
 		pl[0] += float64(r.Pool.BoardsDied)
 		pl[1] += float64(r.Pool.BoardsRecovered)
 		pl[2] += float64(r.Pool.Failovers)
 		pl[3] += float64(r.Pool.StandbyPromotions)
 		pl[4] += float64(r.Pool.DegradedEntries)
+		ad[0] += float64(r.Adapt.Detections)
+		ad[1] += float64(r.Adapt.Retrains)
+		ad[2] += float64(r.Adapt.Swaps)
+		ad[3] += float64(r.Adapt.Rollbacks)
 	}
 	m.Switches = int(math.Round(sw / n))
 	m.Reconfigs = int(math.Round(rc / n))
@@ -453,11 +488,12 @@ func Mean(runs []RunStats) (RunStats, error) {
 		SensorDropouts:   int(math.Round(ft[2] / n)),
 		SensorSpikes:     int(math.Round(ft[3] / n)),
 		AccuracyDrifts:   int(math.Round(ft[4] / n)),
-		Degradations:     int(math.Round(ft[5] / n)),
-		BoardCrashes:     int(math.Round(ft[6] / n)),
-		BoardHangs:       int(math.Round(ft[7] / n)),
-		FrameCorruptions: int(math.Round(ft[8] / n)),
-		BoardBrownouts:   int(math.Round(ft[9] / n)),
+		SustainedDrifts:  int(math.Round(ft[5] / n)),
+		Degradations:     int(math.Round(ft[6] / n)),
+		BoardCrashes:     int(math.Round(ft[7] / n)),
+		BoardHangs:       int(math.Round(ft[8] / n)),
+		FrameCorruptions: int(math.Round(ft[9] / n)),
+		BoardBrownouts:   int(math.Round(ft[10] / n)),
 	}
 	m.Pool = PoolStats{
 		BoardsDied:        int(math.Round(pl[0] / n)),
@@ -466,6 +502,10 @@ func Mean(runs []RunStats) (RunStats, error) {
 		StandbyPromotions: int(math.Round(pl[3] / n)),
 		DegradedEntries:   int(math.Round(pl[4] / n)),
 	}
+	m.Adapt.Detections = int(math.Round(ad[0] / n))
+	m.Adapt.Retrains = int(math.Round(ad[1] / n))
+	m.Adapt.Swaps = int(math.Round(ad[2] / n))
+	m.Adapt.Rollbacks = int(math.Round(ad[3] / n))
 	return m, nil
 }
 

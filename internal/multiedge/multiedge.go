@@ -196,6 +196,10 @@ type Pool struct {
 	// at baseThreshold - DegradedRelax.
 	baseThreshold float64
 	degraded      bool
+	// pendingLib is a hot-swap in flight: boards adopt it one by one on
+	// heartbeats (never mid-reconfiguration), each serving from its own
+	// manager's committed library until its individual swap lands.
+	pendingLib *library.Library
 }
 
 // NewSupervisedPool builds a pool of cfg.Boards serving boards plus
@@ -280,6 +284,59 @@ func (p *Pool) Responsive(now float64) int {
 		}
 	}
 	return n
+}
+
+// ServingLibrary implements edge.LibrarySwapper: the library the whole
+// pool has fully committed to. A swap in flight does not change it until
+// every board adopted the candidate.
+func (p *Pool) ServingLibrary() *library.Library { return p.lib }
+
+// SwapLibrary implements edge.LibrarySwapper: stage lib as the pending
+// library and try to roll it across the boards immediately. The swap is
+// staggered — each board adopts the candidate on a heartbeat where it is
+// not mid-reconfiguration and not paying a switch stall; until then it
+// keeps serving its own committed version. Returns true only once every
+// board (spares included) has committed, so the adaptation loop's
+// single-version invariant holds pool-wide.
+func (p *Pool) SwapLibrary(now float64, lib *library.Library) bool {
+	if lib == nil || len(lib.Entries) != len(p.lib.Entries) {
+		return false
+	}
+	p.pendingLib = lib
+	_, done := p.applySwap(now)
+	return done
+}
+
+// applySwap advances a staggered library swap by one round: every board
+// not yet on the pending library attempts to adopt it, in index order so
+// the trace replays deterministically. A board defers while stalled on a
+// switch or while its manager has a reconfiguration in flight (the
+// manager refuses mid-decide/commit). applied reports whether any board
+// adopted this round; done reports whether the swap has fully committed.
+func (p *Pool) applySwap(now float64) (applied, done bool) {
+	if p.pendingLib == nil {
+		return false, false
+	}
+	done = true
+	for i, b := range p.boards {
+		if b.mgr.Library() == p.pendingLib {
+			continue
+		}
+		if now < b.stallUntil || !b.mgr.SwapLibrary(now, p.pendingLib) {
+			done = false
+			continue
+		}
+		applied = true
+		if p.trace.Enabled() {
+			p.trace.Emit(now, obs.PoolCat, "swap",
+				obs.I("board", i), obs.I("version", p.pendingLib.Version))
+		}
+	}
+	if done {
+		p.lib = p.pendingLib
+		p.pendingLib = nil
+	}
+	return applied, done
 }
 
 // Rebase shifts every board timer dt seconds earlier, clamped at zero.
@@ -390,6 +447,14 @@ func (p *Pool) Heartbeat(now float64, inj *fault.Injector) bool {
 	}
 	if p.updateDegraded(now) {
 		changed = true
+	}
+	if p.pendingLib != nil {
+		// A staggered hot-swap is in flight: boards that deferred (stalled,
+		// or mid-reconfiguration) retry each beat. Any adoption changes the
+		// capability surface, so the run must React and re-decide.
+		if applied, _ := p.applySwap(now); applied {
+			changed = true
+		}
 	}
 	if p.cfg.Batch > 1 {
 		p.advanceBatches(now)
@@ -727,12 +792,16 @@ func (p *Pool) React(now, incomingFPS float64) (edge.Serving, time.Duration, boo
 	return s, stall, switched, reconf
 }
 
-// apply caches a board's serving parameters for a decision.
+// apply caches a board's serving parameters for a decision. Entries are
+// read from the board's own manager's library — during a staggered
+// hot-swap, boards that have not adopted the pending library yet keep
+// serving exactly their committed version, never a half-swapped blend.
 func (p *Pool) apply(b *board, d manager.Decision) {
-	e := p.lib.Entries[d.Entry]
+	lib := b.mgr.Library()
+	e := lib.Entries[d.Entry]
 	if d.Kind == manager.Flexible {
 		b.fps = e.FlexFPS
-		b.idle = p.lib.Flexible.IdlePower()
+		b.idle = lib.Flexible.IdlePower()
 	} else {
 		b.fps = e.FixedFPS
 		b.idle = e.Fixed.IdlePower()

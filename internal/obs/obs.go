@@ -55,6 +55,9 @@ const (
 	// the scheduler's serial control loop, so cluster-category streams
 	// are byte-identical at any dispatch worker count.
 	ClusterCat
+	// AdaptCat: closed-loop drift recovery (sustained-drift detections,
+	// background retrains, library hot-swap commits, rollbacks).
+	AdaptCat
 	numCategories
 )
 
@@ -65,6 +68,7 @@ var categoryNames = [numCategories]string{
 	FaultCat:   "fault",
 	PoolCat:    "pool",
 	ClusterCat: "cluster",
+	AdaptCat:   "adapt",
 }
 
 // String names the category.

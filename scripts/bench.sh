@@ -1,10 +1,10 @@
 #!/bin/sh
 # Tracked benchmark baseline: runs the key design-time and substrate
-# benchmarks and writes their numbers to BENCH_PR8.json via cmd/benchjson.
+# benchmarks and writes their numbers to BENCH_PR10.json via cmd/benchjson.
 # Run from the repository root (or via `make bench`).
 #
 # Environment overrides:
-#   BENCH_OUT      output JSON path        (default BENCH_PR8.json)
+#   BENCH_OUT      output JSON path        (default BENCH_PR10.json)
 #   BENCH_PATTERN  -bench regexp           (default: the tracked set below)
 #   BENCH_TIME     -benchtime              (default 1s)
 #   BENCH_COUNT    -count                  (default 1)
@@ -13,7 +13,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH_OUT=${BENCH_OUT:-BENCH_PR8.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_PR10.json}
 BENCH_PATTERN=${BENCH_PATTERN:-'BenchmarkLibraryGenerate|BenchmarkExploreTargetFPS|BenchmarkGemm$|BenchmarkGemmInt8$|BenchmarkConvForward|BenchmarkDESKernel|BenchmarkRunEdge$|BenchmarkPoolRun|BenchmarkClusterRun'}
 BENCH_TIME=${BENCH_TIME:-1s}
 BENCH_COUNT=${BENCH_COUNT:-1}

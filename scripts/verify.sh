@@ -53,22 +53,24 @@ BENCH_OUT="$bench_out" BENCH_TIME=1x BENCH_PATTERN='BenchmarkDESKernel' ./script
 grep -q 'BenchmarkDESKernel' "$bench_out"
 rm -f "$bench_out"
 
-echo "== overhead guards (BenchmarkRunEdge + BenchmarkPoolRun + BenchmarkClusterRun + BenchmarkDESKernel vs BENCH_PR8.json)"
+echo "== overhead guards (BenchmarkRunEdge + BenchmarkPoolRun + BenchmarkClusterRun + BenchmarkDESKernel vs BENCH_PR10.json)"
 # Tracing off must stay free on the serving hot path, pool supervision
 # must stay cheap on the healthy path (<2% claims, measured back to back
-# in DESIGN.md), and the calendar-queue DES kernel must not regress
-# toward the old heap numbers. The committed baseline was measured on one
-# machine and this guard may run on another, so the tolerance is generous
-# (25%). Skips cleanly if the baseline lacks the benchmarks.
-if grep -q 'BenchmarkRunEdge\|BenchmarkPoolRun' BENCH_PR8.json; then
+# in DESIGN.md), adaptation must stay free when disabled (the fluid
+# variant IS the disabled-adapt path), and the calendar-queue DES kernel
+# must not regress toward the old heap numbers. The committed baseline
+# was measured on one machine and this guard may run on another, so the
+# tolerance is generous (25%). Skips cleanly if the baseline lacks the
+# benchmarks.
+if grep -q 'BenchmarkRunEdge\|BenchmarkPoolRun' BENCH_PR10.json; then
 	overhead_out=$(mktemp)
 	# -count 3: benchjson keeps the fastest of repeats, damping the
 	# heavy scheduler noise of small containers.
 	go test -run '^$' -bench 'BenchmarkRunEdge$|BenchmarkPoolRun|BenchmarkClusterRun|BenchmarkDESKernel' -benchtime 0.5s -count 3 . | tee "$overhead_out"
-	go run ./cmd/benchjson -check -baseline BENCH_PR8.json -tol 0.25 "$overhead_out"
+	go run ./cmd/benchjson -check -baseline BENCH_PR10.json -tol 0.25 "$overhead_out"
 	rm -f "$overhead_out"
 else
-	echo "BENCH_PR8.json has no BenchmarkRunEdge/BenchmarkPoolRun entry; skipping"
+	echo "BENCH_PR10.json has no BenchmarkRunEdge/BenchmarkPoolRun entry; skipping"
 fi
 
 echo "verify: OK"
